@@ -1,0 +1,94 @@
+/**
+ * @file
+ * EXP-F6A: reproduces Figure 6a — RocksDB behind the Stubby-style RPC
+ * stack with single-queue Shinjuku scheduling, for the three §7.3.1
+ * placements.
+ *
+ * Paper shape: OnHost-All and Offload-All saturate about equally
+ * (Offload-All recovers 9 host cores); OnHost-Scheduler saturates far
+ * lower because the on-host scheduler reads RPC headers over PCIe.
+ * Apples-to-apples: Offload-All restricted to 15 host cores is ~6.3%
+ * below OnHost-All.
+ */
+#include "bench/bench_util.h"
+#include "rpc/rpc_experiment.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace wave;
+using rpc::RpcExperimentConfig;
+using rpc::RpcScenario;
+
+RpcExperimentConfig
+Scenario(RpcScenario scenario, bool multi_queue, int rocksdb_cores)
+{
+    RpcExperimentConfig cfg;
+    cfg.scenario = scenario;
+    cfg.multi_queue = multi_queue;
+    cfg.rocksdb_cores = rocksdb_cores;
+    cfg.warmup_ns = 40'000'000;
+    cfg.measure_ns = 150'000'000;
+    return cfg;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("EXP-F6A",
+                  "Figure 6a: RPC stack + single-queue Shinjuku");
+
+    struct Row {
+        const char* name;
+        RpcScenario scenario;
+        int cores;
+    };
+    const Row rows[] = {
+        {"OnHost-All", RpcScenario::kOnHostAll, 15},
+        {"OnHost-Scheduler", RpcScenario::kOnHostScheduler, 15},
+        {"Offload-All", RpcScenario::kOffloadAll, 16},
+    };
+
+    stats::Table curve({"offered", "scenario", "achieved", "GET p99"});
+    for (double rps = 80'000; rps <= 230'000; rps += 50'000) {
+        for (const Row& row : rows) {
+            RpcExperimentConfig cfg =
+                Scenario(row.scenario, false, row.cores);
+            cfg.offered_rps = rps;
+            const auto r = rpc::RunRpcExperiment(cfg);
+            curve.AddRow({bench::FmtTput(rps), row.name,
+                          bench::FmtTput(r.achieved_rps),
+                          bench::FmtNs(static_cast<double>(r.get_p99))});
+        }
+    }
+    curve.Print();
+
+    stats::PrintHeading("Saturation summary (GET p99 <= 200us knee)");
+    double sat[3];
+    for (int i = 0; i < 3; ++i) {
+        sat[i] = rpc::FindRpcSaturation(
+            Scenario(rows[i].scenario, false, rows[i].cores), 60'000,
+            260'000, 10'000, 200'000);
+    }
+    const double offload15 = rpc::FindRpcSaturation(
+        Scenario(RpcScenario::kOffloadAll, false, 15), 60'000, 260'000,
+        10'000, 200'000);
+
+    stats::Table summary({"scenario", "saturation", "vs OnHost-All",
+                          "paper"});
+    summary.AddRow({"OnHost-All", bench::FmtTput(sat[0]), "-",
+                    "baseline"});
+    summary.AddRow({"OnHost-Scheduler", bench::FmtTput(sat[1]),
+                    bench::FmtPct(sat[1] / sat[0] - 1.0),
+                    "much lower"});
+    summary.AddRow({"Offload-All (16c)", bench::FmtTput(sat[2]),
+                    bench::FmtPct(sat[2] / sat[0] - 1.0),
+                    "~equal, frees 9 cores"});
+    summary.AddRow({"Offload-All (15c, apples-to-apples)",
+                    bench::FmtTput(offload15),
+                    bench::FmtPct(offload15 / sat[0] - 1.0), "-6.3%"});
+    summary.Print();
+    return 0;
+}

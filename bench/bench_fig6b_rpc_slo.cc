@@ -1,0 +1,100 @@
+/**
+ * @file
+ * EXP-F6B: reproduces Figure 6b — multi-queue Shinjuku using the SLO
+ * carried in each RPC payload (§7.3.2).
+ *
+ * SLO-aware steering requires the scheduler to see the payload: cheap
+ * when it is co-located with the RPC stack (OnHost-All in host memory,
+ * Offload-All in NIC DRAM), ruinous when the on-host scheduler must
+ * read it across PCIe. Paper shape: Offload-All gains ~20.8% over its
+ * single-queue self; the OnHost-Scheduler gap widens; Offload-All ends
+ * within 2.2% of OnHost-All while freeing 9 host cores; apples-to-
+ * apples (15 cores) -7.4%.
+ */
+#include "bench/bench_util.h"
+#include "rpc/rpc_experiment.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace wave;
+using rpc::RpcExperimentConfig;
+using rpc::RpcScenario;
+
+RpcExperimentConfig
+Scenario(RpcScenario scenario, bool multi_queue, int rocksdb_cores)
+{
+    RpcExperimentConfig cfg;
+    cfg.scenario = scenario;
+    cfg.multi_queue = multi_queue;
+    cfg.rocksdb_cores = rocksdb_cores;
+    cfg.warmup_ns = 40'000'000;
+    cfg.measure_ns = 150'000'000;
+    return cfg;
+}
+
+double
+Saturation(RpcScenario scenario, bool multi_queue, int cores)
+{
+    return rpc::FindRpcSaturation(Scenario(scenario, multi_queue, cores),
+                                  60'000, 250'000, 10'000, 200'000);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("EXP-F6B",
+                  "Figure 6b: multi-queue Shinjuku with RPC SLOs");
+
+    struct Row {
+        const char* name;
+        RpcScenario scenario;
+        int cores;
+    };
+    const Row rows[] = {
+        {"OnHost-All", RpcScenario::kOnHostAll, 15},
+        {"OnHost-Scheduler", RpcScenario::kOnHostScheduler, 15},
+        {"Offload-All", RpcScenario::kOffloadAll, 16},
+    };
+
+    stats::Table curve({"offered", "scenario", "achieved", "GET p99"});
+    for (double rps = 80'000; rps <= 230'000; rps += 50'000) {
+        for (const Row& row : rows) {
+            RpcExperimentConfig cfg =
+                Scenario(row.scenario, true, row.cores);
+            cfg.offered_rps = rps;
+            const auto r = rpc::RunRpcExperiment(cfg);
+            curve.AddRow({bench::FmtTput(rps), row.name,
+                          bench::FmtTput(r.achieved_rps),
+                          bench::FmtNs(static_cast<double>(r.get_p99))});
+        }
+    }
+    curve.Print();
+
+    stats::PrintHeading("Saturation summary (GET p99 <= 200us knee)");
+    const double onhost_all = Saturation(RpcScenario::kOnHostAll, true, 15);
+    const double onhost_sched =
+        Saturation(RpcScenario::kOnHostScheduler, true, 15);
+    const double offload_mq = Saturation(RpcScenario::kOffloadAll, true, 16);
+    const double offload_sq =
+        Saturation(RpcScenario::kOffloadAll, false, 16);
+    const double offload_15 = Saturation(RpcScenario::kOffloadAll, true, 15);
+
+    stats::Table summary({"comparison", "measured", "paper"});
+    summary.AddRow({"Offload-All mq vs single-queue",
+                    bench::FmtPct(offload_mq / offload_sq - 1.0),
+                    "+20.8%"});
+    summary.AddRow({"Offload-All (16c) vs OnHost-All",
+                    bench::FmtPct(offload_mq / onhost_all - 1.0),
+                    "-2.2% (frees 9 cores)"});
+    summary.AddRow({"OnHost-Scheduler vs OnHost-All",
+                    bench::FmtPct(onhost_sched / onhost_all - 1.0),
+                    "gap widens vs 6a"});
+    summary.AddRow({"Offload-All (15c) vs OnHost-All",
+                    bench::FmtPct(offload_15 / onhost_all - 1.0),
+                    "-7.4%"});
+    summary.Print();
+    return 0;
+}

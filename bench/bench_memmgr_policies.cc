@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation bench: SOL vs the LRU-CLOCK baseline (§4.2).
+ *
+ * The paper motivates SOL over conventional approximations: CLOCK
+ * scans every batch at a fixed rate (each scan implies TLB-flush
+ * overhead), while SOL learns per-batch scan frequencies. This bench
+ * runs both policies over the same skewed workload (20% hot set) on
+ * the same offloaded agent and reports steady-state scan volume,
+ * iteration durations, and classification accuracy after one epoch.
+ */
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "machine/machine.h"
+#include "memmgr/clock_policy.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sol/agent.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace wave;
+
+constexpr std::size_t kBatches = 8192;
+constexpr std::size_t kPages = 64 * kBatches;  // 2 GiB
+constexpr double kHotFraction = 0.20;
+
+struct Outcome {
+    std::uint64_t scans = 0;
+    sim::DurationNs mean_iteration_ns = 0;
+    double fast_fraction = 0;
+    double hot_kept_fraction = 0;  // hot pages still in the fast tier
+};
+
+Outcome
+RunPolicy(std::unique_ptr<memmgr::MemPolicy> policy)
+{
+    sim::Simulator sim;
+    machine::Machine machine(sim);
+    memmgr::AddressSpace space(kPages);
+
+    sol::SolDeployment deployment;
+    for (int i = 0; i < 8; ++i) {
+        deployment.cpus.push_back(&machine.NicCpu(i));
+    }
+    pcie::DmaEngine dma(sim, pcie::PcieConfig{});
+    deployment.dma = &dma;
+    const sim::DurationNs epoch = policy->EpochNs();
+    sol::SolAgent agent(sim, space, deployment, std::move(policy));
+
+    // Skewed toucher: 98% of touches in the hot 20%.
+    sim.Spawn([](sim::Simulator& s, memmgr::AddressSpace& sp) -> sim::Task<> {
+        sim::Rng rng(5);
+        const std::size_t hot =
+            static_cast<std::size_t>(kHotFraction * kPages);
+        for (;;) {
+            for (int i = 0; i < 8192; ++i) {
+                const std::size_t page =
+                    rng.NextBernoulli(0.98)
+                        ? rng.NextBounded(hot)
+                        : hot + rng.NextBounded(kPages - hot);
+                sp.Touch(page);
+            }
+            co_await s.Delay(50'000'000);
+        }
+    }(sim, space));
+
+    const sim::TimeNs end = epoch + epoch / 4;  // one epoch + margin
+    sim.Spawn([](sol::SolAgent& a, sim::TimeNs until) -> sim::Task<> {
+        co_await a.RunUntil(until);
+    }(agent, end));
+    sim.RunUntil(end);
+
+    Outcome outcome;
+    outcome.scans = agent.Stats().batches_scanned;
+    outcome.mean_iteration_ns = static_cast<sim::DurationNs>(
+        agent.Stats().iteration_ns.Mean());
+    outcome.fast_fraction =
+        static_cast<double>(space.FastTierPages()) /
+        static_cast<double>(kPages);
+    const std::size_t hot_pages =
+        static_cast<std::size_t>(kHotFraction * kPages);
+    std::size_t hot_fast = 0;
+    for (std::size_t page = 0; page < hot_pages; ++page) {
+        hot_fast += space.TierOf(page) == memmgr::Tier::kFast;
+    }
+    outcome.hot_kept_fraction = static_cast<double>(hot_fast) /
+                                static_cast<double>(hot_pages);
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("EXP-ABL-MEMPOL",
+                  "§4.2 ablation: SOL vs LRU-CLOCK over one epoch");
+
+    const Outcome sol =
+        RunPolicy(std::make_unique<sol::SolPolicy>(sol::SolConfig{},
+                                                   kBatches));
+    memmgr::ClockConfig clock_config;
+    clock_config.scan_period_ns = 600'000'000;  // SOL's fastest rung
+    const Outcome clock = RunPolicy(
+        std::make_unique<memmgr::ClockPolicy>(clock_config, kBatches));
+
+    stats::Table table({"metric", "SOL (Thompson sampling)",
+                        "LRU-CLOCK (fixed period)"});
+    table.AddRow({"batch scans over one epoch",
+                  stats::Table::Fmt("%llu",
+                                    static_cast<unsigned long long>(
+                                        sol.scans)),
+                  stats::Table::Fmt("%llu",
+                                    static_cast<unsigned long long>(
+                                        clock.scans))});
+    table.AddRow({"mean agent iteration",
+                  bench::FmtNs(static_cast<double>(sol.mean_iteration_ns)),
+                  bench::FmtNs(static_cast<double>(
+                      clock.mean_iteration_ns))});
+    table.AddRow({"fast-tier fraction after epoch",
+                  stats::Table::Fmt("%.0f%%", sol.fast_fraction * 100),
+                  stats::Table::Fmt("%.0f%%", clock.fast_fraction * 100)});
+    table.AddRow({"hot pages kept fast",
+                  stats::Table::Fmt("%.0f%%", sol.hot_kept_fraction * 100),
+                  stats::Table::Fmt("%.0f%%",
+                                    clock.hot_kept_fraction * 100)});
+    table.Print();
+
+    std::printf(
+        "\nSOL shrinks the fast tier to the hot set with a fraction of "
+        "CLOCK's\nscan volume, and its fractional-evidence posterior "
+        "is robust to stray\ntouches that keep resetting CLOCK's "
+        "consecutive-idle counter (which is\nwhy CLOCK strands most "
+        "cold batches in the fast tier here).\n");
+    return 0;
+}

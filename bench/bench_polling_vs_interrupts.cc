@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation bench: interrupt-driven vs polled decision delivery (§5.1's
+ * "disabling interrupts" and §4.3's polled RPC queues).
+ *
+ * With prestaging off, every scheduling decision is reactive: the host
+ * either halts and takes an MSI-X (receive cost + end-to-end latency)
+ * or spins on the decision queue (each empty poll costs a flush + line
+ * fetch over PCIe but wakeups skip the interrupt path). This sweep
+ * shows polling trimming the reactive path's latency at the cost of
+ * burned polling cycles — and why prestaging (which makes both cheap)
+ * is the §5.4 default.
+ */
+#include "bench/bench_util.h"
+#include "stats/table.h"
+#include "workload/sched_experiment.h"
+
+int
+main()
+{
+    using namespace wave;
+    using workload::Deployment;
+    using workload::SchedExperimentConfig;
+    bench::Banner("EXP-ABL-IRQ",
+                  "decision delivery: MSI-X vs polled queues (Wave-16)");
+
+    stats::Table table({"mode", "offered", "achieved", "GET p50",
+                        "GET p99", "ctx-switch p50"});
+    for (double rps : {400e3, 700e3, 900e3}) {
+        for (int mode = 0; mode < 3; ++mode) {
+            SchedExperimentConfig cfg;
+            cfg.deployment = Deployment::kWave;
+            cfg.worker_cores = 16;
+            cfg.num_workers = 64;
+            cfg.offered_rps = rps;
+            cfg.warmup_ns = 20'000'000;
+            cfg.measure_ns = 80'000'000;
+            const char* name = nullptr;
+            switch (mode) {
+              case 0:
+                name = "MSI-X, no prestage";
+                cfg.prestage = false;
+                break;
+              case 1:
+                name = "polling, no prestage";
+                cfg.prestage = false;
+                cfg.poll_mode = true;
+                break;
+              default:
+                name = "MSI-X + prestage (default)";
+                cfg.prestage = true;
+                cfg.prestage_min_depth = 4;
+                break;
+            }
+            const auto r = workload::RunSchedExperiment(cfg);
+            table.AddRow(
+                {name, bench::FmtTput(rps),
+                 bench::FmtTput(r.achieved_rps),
+                 bench::FmtNs(static_cast<double>(r.get_p50)),
+                 bench::FmtNs(static_cast<double>(r.get_p99)),
+                 bench::FmtNs(static_cast<double>(r.ctx_switch_p50))});
+        }
+    }
+    table.Print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation bench: prestage eagerness (§4.1 "Optimizations").
+ *
+ * The scheduler "eagerly prestages decisions when the run queue length
+ * is sufficiently deep (e.g., linear in the number of cores)". This
+ * sweep varies the minimum run-queue depth at which the agent
+ * prestages, at a load near Wave-16 saturation, showing the trade-off:
+ * too conservative leaves MSI-X round trips on the critical path; the
+ * risk of over-eager prestaging (parking the only runnable thread
+ * behind a busy core) is bounded by the commit-validation fallback.
+ */
+#include "bench/bench_util.h"
+#include "stats/table.h"
+#include "workload/sched_experiment.h"
+
+int
+main()
+{
+    using namespace wave;
+    bench::Banner("EXP-ABL-PRESTAGE",
+                  "prestage run-queue-depth threshold sweep (Wave-16 FIFO)");
+
+    stats::Table table({"min depth", "achieved tput", "prestage hit rate",
+                        "ctx-switch p50"});
+    for (std::size_t depth : {1, 2, 4, 8, 16, 32, 64}) {
+        workload::SchedExperimentConfig cfg;
+        cfg.deployment = workload::Deployment::kWave;
+        cfg.worker_cores = 16;
+        cfg.num_workers = 64;
+        cfg.prestage_min_depth = depth;
+        cfg.offered_rps = 1'350'000;  // past the knee: achieved = capacity
+        cfg.warmup_ns = 20'000'000;
+        cfg.measure_ns = 60'000'000;
+        const auto r = workload::RunSchedExperiment(cfg);
+        const double hit_rate =
+            r.idle_waits + r.prestage_hits > 0
+                ? static_cast<double>(r.prestage_hits) /
+                      static_cast<double>(r.prestage_hits + r.idle_waits)
+                : 0.0;
+        table.AddRow({stats::Table::Fmt("%zu", depth),
+                      bench::FmtTput(r.achieved_rps),
+                      stats::Table::Fmt("%.0f%%", hit_rate * 100),
+                      bench::FmtNs(static_cast<double>(r.ctx_switch_p50))});
+    }
+    table.Print();
+
+    stats::PrintHeading("No prestaging at all, for reference");
+    workload::SchedExperimentConfig cfg;
+    cfg.deployment = workload::Deployment::kWave;
+    cfg.worker_cores = 16;
+    cfg.num_workers = 64;
+    cfg.prestage = false;
+    cfg.offered_rps = 1'350'000;
+    cfg.warmup_ns = 20'000'000;
+    cfg.measure_ns = 60'000'000;
+    const auto r = workload::RunSchedExperiment(cfg);
+    std::printf("achieved %s, ctx-switch p50 %s\n",
+                bench::FmtTput(r.achieved_rps).c_str(),
+                bench::FmtNs(static_cast<double>(r.ctx_switch_p50)).c_str());
+    return 0;
+}

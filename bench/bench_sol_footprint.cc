@@ -1,0 +1,146 @@
+/**
+ * @file
+ * EXP-SOLMEM: reproduces the §7.4.2 RocksDB footprint result — SOL
+ * shrinks the fast-tier (DRAM) footprint from ~102 GiB to ~21.3 GiB
+ * (79% reduction) after 3 epochs, while GETs stay fast (median 12 µs,
+ * p99 31 µs).
+ *
+ * Substitution note (DESIGN.md): the paper drives a real RocksDB; we
+ * drive the simulated KV store with a skewed page-access trace whose
+ * hot set is ~20% of the address space (RocksDB's hot blocks +
+ * indexes). The address space is scaled to 8 GiB so 3 epochs (115 s of
+ * simulated time) run quickly; footprint *fractions* are what the
+ * experiment checks.
+ */
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "machine/machine.h"
+#include "memmgr/swap_device.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sol/agent.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace wave;
+
+constexpr std::size_t kPages = 2'097'152;  // 8 GiB
+constexpr double kHotFraction = 0.20;
+constexpr sim::DurationNs kGetServiceNs = 10'000;
+constexpr sim::DurationNs kSchedOverheadNs = 2'000;
+
+/** GET workload: touches pages with a hot/cold skew, records latency.
+ *  Slow-tier touches fault through the queued swap device. */
+sim::Task<>
+RunGets(sim::Simulator& sim, memmgr::AddressSpace& space,
+        memmgr::SwapDevice& swap, stats::Histogram& latency,
+        sim::TimeNs until)
+{
+    sim::Rng rng(1234);
+    const auto hot_pages =
+        static_cast<std::size_t>(kHotFraction * kPages);
+    while (sim.Now() < until) {
+        // ~50k GETs/s keeps access bits warm without dominating runtime.
+        co_await sim.Delay(static_cast<sim::DurationNs>(
+            rng.NextExponential(20'000.0)));
+        sim::DurationNs service = kGetServiceNs + kSchedOverheadNs;
+        // Each GET touches 8 pages (data blocks + index/filter); 98% of
+        // touches hit the hot set, as in a cached RocksDB working set.
+        for (int i = 0; i < 8; ++i) {
+            const std::size_t page =
+                rng.NextBernoulli(0.98)
+                    ? rng.NextBounded(hot_pages)
+                    : hot_pages + rng.NextBounded(kPages - hot_pages);
+            space.Touch(page);
+            if (space.TierOf(page) == memmgr::Tier::kSlow) {
+                // Major fault: swap the page back in through the device.
+                const sim::TimeNs fault_start = sim.Now();
+                co_await swap.FaultIn();
+                service += sim.Now() - fault_start;
+            }
+        }
+        latency.Record(service);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("EXP-SOLMEM",
+                  "§7.4.2: SOL shrinks the RocksDB DRAM footprint");
+
+    sim::Simulator sim;
+    machine::Machine machine(sim);
+    memmgr::AddressSpace space(kPages);
+
+    sol::SolDeployment deployment;
+    for (int i = 0; i < 16; ++i) {
+        deployment.cpus.push_back(&machine.NicCpu(i));
+    }
+    pcie::DmaEngine dma(sim, pcie::PcieConfig{});
+    deployment.dma = &dma;
+    sol::SolAgent agent(sim, space, deployment);
+
+    const sim::DurationNs epoch = agent.Policy().EpochNs();
+    const sim::TimeNs end = 3 * epoch + epoch / 4;  // past 3 epochs
+
+    memmgr::SwapDevice swap(sim);
+    stats::Histogram get_latency;
+    sim.Spawn(RunGets(sim, space, swap, get_latency, end));
+    sim.Spawn([](sol::SolAgent& a, sim::TimeNs until) -> sim::Task<> {
+        co_await a.RunUntil(until);
+    }(agent, end));
+
+    const double start_gib =
+        static_cast<double>(space.FastTierBytes()) / (1ull << 30);
+
+    stats::Table trajectory({"epoch", "fast tier (GiB)", "fraction"});
+    trajectory.AddRow({"start", stats::Table::Fmt("%.1f", start_gib),
+                       "100%"});
+    for (int e = 1; e <= 3; ++e) {
+        sim.RunUntil(static_cast<sim::TimeNs>(e) * epoch + epoch / 8);
+        const double gib =
+            static_cast<double>(space.FastTierBytes()) / (1ull << 30);
+        trajectory.AddRow(
+            {stats::Table::Fmt("after epoch %d", e),
+             stats::Table::Fmt("%.1f", gib),
+             stats::Table::Fmt("%.0f%%", 100.0 * gib / start_gib)});
+    }
+    sim.RunUntil(end);
+    trajectory.Print();
+
+    const double final_fraction =
+        static_cast<double>(space.FastTierBytes()) /
+        static_cast<double>(kPages * memmgr::kPageSize);
+
+    stats::PrintHeading("Summary");
+    stats::Table summary({"metric", "measured", "paper"});
+    summary.AddRow(
+        {"footprint reduction after 3 epochs",
+         stats::Table::Fmt("%.0f%%", (1.0 - final_fraction) * 100.0),
+         "79% (102 GiB -> 21.3 GiB)"});
+    summary.AddRow({"GET median latency",
+                    bench::FmtNs(static_cast<double>(
+                        get_latency.Percentile(0.50))),
+                    "12 us"});
+    summary.AddRow({"GET p99 latency",
+                    bench::FmtNs(static_cast<double>(
+                        get_latency.Percentile(0.99))),
+                    "31 us"});
+    summary.AddRow({"swap-device fault p99",
+                    bench::FmtNs(static_cast<double>(
+                        swap.Latency().Percentile(0.99))),
+                    "-"});
+    summary.AddRow(
+        {"pages migrated",
+         stats::Table::Fmt("%llu", static_cast<unsigned long long>(
+                                       agent.Stats().pages_migrated)),
+         "-"});
+    summary.Print();
+    return 0;
+}

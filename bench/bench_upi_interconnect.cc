@@ -1,0 +1,104 @@
+/**
+ * @file
+ * EXP-UPI: reproduces §7.3.3 — faster (coherent) interconnects benefit
+ * Wave.
+ *
+ * The paper emulates a UPI-attached SmartNIC with the host's second
+ * socket, sweeping its frequency (3.0 / 2.5 / 2.0 GHz vs the host's
+ * 3.5 GHz) and re-implementing the Wave optimizations over coherent
+ * memory. Offload and on-host use the same number of RocksDB cores
+ * (apples-to-apples). Paper: slowdowns at saturation of 1.3% (3 GHz),
+ * 2.5% (2.5 GHz), 3.5% (2 GHz); UPI at 3 GHz beats the real
+ * PCIe-attached SmartNIC by ~0.9%.
+ */
+#include "bench/bench_util.h"
+#include "rpc/rpc_experiment.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace wave;
+using rpc::RpcExperimentConfig;
+using rpc::RpcScenario;
+
+/**
+ * The §7.3.3 slowdowns are 1-3%, below what a practical saturation
+ * sweep resolves on this simulator, so the bench compares the
+ * deployments at one fixed near-knee load and reports achieved
+ * throughput plus the GET p99 — the latency ordering carries the
+ * paper's fine-grained signal.
+ */
+rpc::RpcExperimentResult
+AtFixedLoad(RpcScenario scenario, const pcie::PcieConfig& pcie,
+            double nic_speed)
+{
+    RpcExperimentConfig cfg;
+    cfg.scenario = scenario;
+    cfg.rocksdb_cores = 15;  // same core count: apples-to-apples
+    cfg.pcie = pcie;
+    cfg.nic_speed = nic_speed;
+    cfg.offered_rps = 185'000;  // just below the worker-capacity knee
+    cfg.warmup_ns = 50'000'000;
+    cfg.measure_ns = 250'000'000;
+    return rpc::RunRpcExperiment(cfg);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("EXP-UPI",
+                  "§7.3.3: UPI-emulated SmartNIC frequency sweep");
+
+    // On-host reference (scheduler + RPC stack + RocksDB in one socket).
+    const auto onhost =
+        AtFixedLoad(RpcScenario::kOnHostAll, pcie::PcieConfig{}, 0.0);
+
+    // The emulated SmartNIC is another x86 socket: per-cycle parity
+    // with the host, so speed = frequency ratio.
+    struct Point {
+        const char* name;
+        double ghz;
+        const char* paper;
+    };
+    const Point points[] = {
+        {"UPI offload @ 3.0 GHz", 3.0, "-1.3% at saturation"},
+        {"UPI offload @ 2.5 GHz", 2.5, "-2.5% at saturation"},
+        {"UPI offload @ 2.0 GHz", 2.0, "-3.5% at saturation"},
+    };
+
+    stats::Table table({"configuration", "achieved @185k", "GET p99",
+                        "paper"});
+    auto row = [&](const char* name,
+                   const rpc::RpcExperimentResult& r, const char* paper) {
+        table.AddRow({name, bench::FmtTput(r.achieved_rps),
+                      bench::FmtNs(static_cast<double>(r.get_p99)),
+                      paper});
+    };
+    row("On-Host (same socket, 3.5 GHz)", onhost, "baseline");
+
+    sim::DurationNs upi_3ghz_p99 = 0;
+    for (const Point& point : points) {
+        const auto r = AtFixedLoad(RpcScenario::kOffloadAll,
+                                   pcie::PcieConfig::Upi(),
+                                   point.ghz / 3.5);
+        if (point.ghz == 3.0) upi_3ghz_p99 = r.get_p99;
+        row(point.name, r, point.paper);
+    }
+
+    // The real PCIe SmartNIC for the cross-interconnect comparison.
+    const auto pcie_nic =
+        AtFixedLoad(RpcScenario::kOffloadAll, pcie::PcieConfig{}, 0.61);
+    row("PCIe SmartNIC (real ARM cores)", pcie_nic,
+        "UPI@3GHz ~0.9% better");
+    table.Print();
+
+    std::printf(
+        "\nExpected ordering: on-host best; UPI degrades as the emulated\n"
+        "socket slows; the coherent UPI@3GHz beats the PCIe SmartNIC\n"
+        "(paper: +0.9%% at saturation). UPI@3GHz p99 %s vs PCIe p99 %s.\n",
+        bench::FmtNs(static_cast<double>(upi_3ghz_p99)).c_str(),
+        bench::FmtNs(static_cast<double>(pcie_nic.get_p99)).c_str());
+    return 0;
+}

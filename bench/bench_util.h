@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure from the paper and
+ * prints the same rows/series, with a `paper=` reference column so the
+ * reproduction quality is visible at a glance. Absolute values come
+ * from a simulator rather than the authors' testbed, so the *shape*
+ * (who wins, by roughly what factor, where crossovers fall) is the
+ * comparison that matters; EXPERIMENTS.md records both.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/table.h"
+
+namespace wave::bench {
+
+/** Prints the standard bench banner. */
+inline void
+Banner(const std::string& experiment_id, const std::string& title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment_id.c_str(), title.c_str());
+    std::printf("(simulated reproduction; compare shapes, not absolutes)\n");
+    std::printf("==============================================================\n");
+    std::fflush(stdout);
+}
+
+/** Formats a nanosecond value like the paper ("426 ns", "1.6 us"). */
+inline std::string
+FmtNs(double ns)
+{
+    if (ns < 10'000) return stats::Table::Fmt("%.0f ns", ns);
+    if (ns < 10'000'000) return stats::Table::Fmt("%.1f us", ns / 1e3);
+    if (ns < 10'000'000'000.0) {
+        return stats::Table::Fmt("%.1f ms", ns / 1e6);
+    }
+    return stats::Table::Fmt("%.2f s", ns / 1e9);
+}
+
+/** Formats a throughput in the paper's units (requests/sec). */
+inline std::string
+FmtTput(double rps)
+{
+    return stats::Table::Fmt("%.0fk", rps / 1e3);
+}
+
+/** Formats a percentage delta. */
+inline std::string
+FmtPct(double frac)
+{
+    return stats::Table::Fmt("%+.1f%%", frac * 100.0);
+}
+
+}  // namespace wave::bench

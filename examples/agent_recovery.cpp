@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Example: fault recovery — the watchdog kills a wedged SmartNIC agent
+ * and a replacement takes over (§3.3, §6 "Keep Fault Recovery Simple").
+ *
+ * The host kernel is the source of truth for thread state, so the
+ * replacement agent needs no checkpoint: it re-learns the world from
+ * the kernel's messages and scheduling resumes.
+ *
+ * Build & run:  ./build/examples/agent_recovery
+ */
+#include <cstdio>
+
+#include "ghost/agent.h"
+#include "ghost/kernel.h"
+#include "ghost/transport.h"
+#include "machine/machine.h"
+#include "sched/fifo.h"
+#include "sim/simulator.h"
+#include "wave/runtime.h"
+#include "wave/watchdog.h"
+
+using namespace wave;
+using namespace sim::time_literals;
+
+namespace {
+
+/** Worker that reports completions. */
+class Worker : public ghost::ThreadBody {
+  public:
+    explicit Worker(int& completions) : completions_(completions) {}
+
+    sim::Task<ghost::RunStop>
+    Run(ghost::RunContext& ctx) override
+    {
+        sim::DurationNs remaining = 10'000;
+        while (remaining > 0) {
+            const auto ran =
+                co_await ctx.interrupt.SleepInterruptible(remaining);
+            remaining -= std::min(ran, remaining);
+            if (remaining > 0) co_return ghost::RunStop::kPreempted;
+        }
+        ++completions_;
+        co_return ghost::RunStop::kYielded;  // stay runnable forever
+    }
+
+  private:
+    int& completions_;
+};
+
+}  // namespace
+
+int
+main()
+{
+    sim::Simulator sim;
+    machine::Machine machine(sim);
+    WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
+                        api::OptimizationConfig::Full());
+    ghost::WaveSchedTransport transport(runtime, 2);
+    ghost::KernelSched kernel(sim, machine, transport);
+
+    int completions = 0;
+    for (ghost::Tid tid = 1; tid <= 8; ++tid) {
+        kernel.AddThread(tid, std::make_shared<Worker>(completions));
+    }
+
+    ghost::AgentConfig agent_cfg;
+    agent_cfg.cores = {0, 1};
+
+    // Generation 1: a healthy agent that will be killed artificially
+    // after 2 ms (simulating a wedge) by simply stopping it.
+    auto policy1 = std::make_shared<sched::FifoPolicy>();
+    auto agent1 = std::make_shared<ghost::GhostAgent>(transport, policy1,
+                                                      agent_cfg);
+    const AgentId gen1 = runtime.StartWaveAgent(agent1, 0);
+    kernel.Start({0, 1});
+
+    // The on-host watchdog: no decision for >20 ms -> kill + restart.
+    Watchdog watchdog(sim, /*timeout=*/20_ms, /*check_interval=*/1_ms,
+                      [&] {
+                          std::printf("[%8.3f ms] watchdog fired: killing "
+                                      "agent, starting replacement\n",
+                                      sim::ToMs(sim.Now()));
+                          runtime.KillWaveAgent(gen1);
+                          auto policy2 =
+                              std::make_shared<sched::FifoPolicy>();
+                          auto agent2 =
+                              std::make_shared<ghost::GhostAgent>(
+                                  transport, policy2, agent_cfg);
+                          runtime.StartWaveAgent(agent2, 1);
+                          // Replacement re-pulls state: the kernel
+                          // re-announces every runnable thread.
+                          for (ghost::Tid tid = 1; tid <= 8; ++tid) {
+                              kernel.WakeThread(tid);
+                          }
+                      });
+    watchdog.Arm();
+
+    // Feed the watchdog while decisions flow; "wedge" the agent at 2 ms
+    // by killing it without telling the watchdog.
+    sim.Spawn([](sim::Simulator& s, ghost::KernelSched& k,
+                 Watchdog& dog) -> sim::Task<> {
+        std::uint64_t last_commits = 0;
+        for (;;) {
+            co_await s.Delay(1_ms);
+            if (k.Stats().commits_ok > last_commits) {
+                last_commits = k.Stats().commits_ok;
+                dog.NoteDecision();
+            }
+        }
+    }(sim, kernel, watchdog));
+    sim.Schedule(2_ms, [&] {
+        std::printf("[%8.3f ms] agent wedges (no more decisions)\n",
+                    sim::ToMs(sim.Now()));
+        runtime.KillWaveAgent(gen1);
+    });
+
+    sim.RunFor(10_ms);
+    const int before_recovery = completions;
+    std::printf("[%8.3f ms] completions so far: %d (stalled)\n",
+                sim::ToMs(sim.Now()), completions);
+
+    sim.RunFor(50_ms);
+    std::printf("[%8.3f ms] completions after recovery: %d\n",
+                sim::ToMs(sim.Now()), completions);
+    std::printf("\nrecovered: %s (watchdog expired: %s)\n",
+                completions > before_recovery ? "yes" : "no",
+                watchdog.Expired() ? "yes" : "no");
+    return 0;
+}

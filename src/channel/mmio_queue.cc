@@ -1,0 +1,239 @@
+#include "channel/mmio_queue.h"
+
+#include <cstring>
+
+namespace wave::channel {
+
+namespace {
+
+Bytes
+ToFlagBytes(std::uint64_t v)
+{
+    Bytes b(sizeof(v));
+    std::memcpy(b.data(), &v, sizeof(v));
+    return b;
+}
+
+std::uint64_t
+FromFlagBytes(const std::byte* data)
+{
+    std::uint64_t v;
+    std::memcpy(&v, data, sizeof(v));
+    return v;
+}
+
+}  // namespace
+
+// --- HostProducer ---
+
+HostProducer::HostProducer(MmioQueue& queue, pcie::PteType write_type,
+                           pcie::PteType counter_read_type)
+    : queue_(queue),
+      write_map_(queue.Dram(), write_type),
+      counter_map_(queue.Dram(), counter_read_type)
+{
+}
+
+sim::Task<>
+HostProducer::RefreshConsumed()
+{
+    // A stale cached counter only under-reports progress, so flushing
+    // before the read is needed only when we actually must see newer
+    // data — which is exactly when this is called.
+    co_await counter_map_.Clflush(queue_.CounterAddr(),
+                                  RingLayout::kFlagSize);
+    std::uint64_t counter = 0;
+    co_await counter_map_.Read(queue_.CounterAddr(), &counter,
+                               sizeof(counter));
+    cached_consumed_ = counter;
+}
+
+sim::Task<std::size_t>
+HostProducer::Send(const std::vector<Bytes>& messages)
+{
+    const auto& layout = queue_.Layout();
+    const std::size_t capacity = layout.Config().capacity;
+    std::size_t sent = 0;
+
+    for (const Bytes& message : messages) {
+        WAVE_ASSERT(message.size() == layout.Config().payload_size,
+                    "message size %zu != payload size %zu", message.size(),
+                    layout.Config().payload_size);
+        if (head_ - cached_consumed_ >= capacity) {
+            co_await RefreshConsumed();
+            if (head_ - cached_consumed_ >= capacity) {
+                break;  // genuinely full
+            }
+        }
+        // Payload first, then the generation flag; posted-write ordering
+        // guarantees the consumer never sees a flag without its payload.
+        co_await write_map_.Write(queue_.PayloadAddr(head_),
+                                  message.data(), message.size());
+        const Bytes flag = ToFlagBytes(layout.GenerationOf(head_));
+        co_await write_map_.Write(queue_.FlagAddr(head_), flag.data(),
+                                  flag.size());
+        ++head_;
+        ++sent;
+    }
+    // One fence drains the whole batch (WC batching, §5.3.1). A no-op
+    // for uncacheable mappings.
+    co_await write_map_.Sfence();
+    co_return sent;
+}
+
+// --- NicConsumer ---
+
+NicConsumer::NicConsumer(MmioQueue& queue, pcie::PteType local_type)
+    : queue_(queue), map_(queue.Dram(), local_type)
+{
+}
+
+sim::Task<>
+NicConsumer::MaybeSyncCounter()
+{
+    if (tail_ - last_synced_ >= queue_.Layout().Config().sync_interval) {
+        co_await map_.Write(queue_.CounterAddr(), &tail_, sizeof(tail_));
+        last_synced_ = tail_;
+    }
+}
+
+sim::Task<std::optional<Bytes>>
+NicConsumer::Poll()
+{
+    const auto& layout = queue_.Layout();
+    std::byte flag_raw[RingLayout::kFlagSize];
+    co_await map_.Read(queue_.FlagAddr(tail_), flag_raw, sizeof(flag_raw));
+    if (FromFlagBytes(flag_raw) != layout.GenerationOf(tail_)) {
+        co_return std::nullopt;
+    }
+    Bytes payload(layout.Config().payload_size);
+    co_await map_.Read(queue_.PayloadAddr(tail_), payload.data(),
+                       payload.size());
+    ++tail_;
+    co_await MaybeSyncCounter();
+    co_return payload;
+}
+
+sim::Task<std::vector<Bytes>>
+NicConsumer::PollBatch(std::size_t max)
+{
+    std::vector<Bytes> out;
+    while (out.size() < max) {
+        auto message = co_await Poll();
+        if (!message) break;
+        out.push_back(std::move(*message));
+    }
+    co_return out;
+}
+
+// --- NicProducer ---
+
+NicProducer::NicProducer(MmioQueue& queue, pcie::PteType local_type)
+    : queue_(queue), map_(queue.Dram(), local_type)
+{
+}
+
+sim::Task<bool>
+NicProducer::Full()
+{
+    const std::size_t capacity = queue_.Layout().Config().capacity;
+    if (head_ - cached_consumed_ < capacity) {
+        co_return false;
+    }
+    std::uint64_t counter = 0;
+    co_await map_.Read(queue_.CounterAddr(), &counter, sizeof(counter));
+    cached_consumed_ = counter;
+    co_return head_ - cached_consumed_ >= capacity;
+}
+
+sim::Task<bool>
+NicProducer::Send(const Bytes& message)
+{
+    const auto& layout = queue_.Layout();
+    WAVE_ASSERT(message.size() == layout.Config().payload_size);
+    if (co_await Full()) {
+        co_return false;
+    }
+    co_await map_.Write(queue_.PayloadAddr(head_), message.data(),
+                        message.size());
+    const std::uint64_t gen = layout.GenerationOf(head_);
+    co_await map_.Write(queue_.FlagAddr(head_), &gen, sizeof(gen));
+    ++head_;
+    co_return true;
+}
+
+sim::Task<std::size_t>
+NicProducer::SendBatch(const std::vector<Bytes>& messages)
+{
+    std::size_t sent = 0;
+    for (const Bytes& message : messages) {
+        if (!co_await Send(message)) break;
+        ++sent;
+    }
+    co_return sent;
+}
+
+// --- HostConsumer ---
+
+HostConsumer::HostConsumer(MmioQueue& queue, pcie::PteType read_type,
+                           pcie::PteType counter_write_type)
+    : queue_(queue),
+      read_map_(queue.Dram(), read_type),
+      counter_map_(queue.Dram(), counter_write_type)
+{
+}
+
+sim::Task<>
+HostConsumer::MaybeSyncCounter()
+{
+    if (tail_ - last_synced_ >= queue_.Layout().Config().sync_interval) {
+        co_await counter_map_.Write(queue_.CounterAddr(), &tail_,
+                                    sizeof(tail_));
+        co_await counter_map_.Sfence();
+        last_synced_ = tail_;
+    }
+}
+
+sim::Task<std::optional<Bytes>>
+HostConsumer::Poll(bool flush_first)
+{
+    if (flush_first) {
+        co_await FlushNext();
+    }
+    const auto& layout = queue_.Layout();
+    // Slots are line-aligned with the flag adjacent to the payload, so
+    // with a WT mapping this single read pulls flag + payload in one
+    // PCIe roundtrip (or hits the cache if prefetched).
+    Bytes slot(layout.Config().payload_size + RingLayout::kFlagSize);
+    co_await read_map_.Read(queue_.PayloadAddr(tail_), slot.data(),
+                            slot.size());
+    const std::uint64_t flag =
+        FromFlagBytes(slot.data() + layout.Config().payload_size);
+    if (flag != layout.GenerationOf(tail_)) {
+        co_return std::nullopt;
+    }
+    slot.resize(layout.Config().payload_size);
+    ++tail_;
+    co_await MaybeSyncCounter();
+    co_return slot;
+}
+
+sim::Task<>
+HostConsumer::PrefetchNext()
+{
+    // Drop any stale copy from the previous lap, then start the fill.
+    co_await FlushNext();
+    read_map_.Prefetch(queue_.PayloadAddr(tail_),
+                       queue_.Layout().Config().payload_size +
+                           RingLayout::kFlagSize);
+}
+
+sim::Task<>
+HostConsumer::FlushNext()
+{
+    co_await read_map_.Clflush(queue_.PayloadAddr(tail_),
+                               queue_.Layout().Config().payload_size +
+                                   RingLayout::kFlagSize);
+}
+
+}  // namespace wave::channel

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host-kernel cost model for the ghOSt scheduling class.
+ *
+ * These are the CPU costs of the *mechanism* that stays on the host in
+ * both deployments (§4.1): building and sending thread-event messages,
+ * validating and committing transactions, and the context switch
+ * itself. They are calibrated so the on-host ghOSt rows of Table 3
+ * (4.4-5.0 µs baseline context-switch overhead, 2.4-3.3 µs with
+ * prestaging) come out of the same machinery that produces the Wave
+ * rows when the transport is swapped.
+ */
+#pragma once
+
+#include "sim/time.h"
+
+namespace wave::ghost {
+
+/** CPU costs of in-kernel scheduling mechanics. */
+struct GhostCosts {
+    /** Building a thread-event message (kernel bookkeeping, seqnums). */
+    sim::DurationNs msg_prep_ns = 350;
+
+    /** Validating a transaction against live thread state. */
+    sim::DurationNs commit_ns = 400;
+
+    /** The context switch proper: state save/restore, runqueue ops. */
+    sim::DurationNs context_switch_ns = 1300;
+
+    /** Handling a timer tick (Figure 5's per-millisecond overhead). */
+    sim::DurationNs tick_ns = 12'600;
+
+    /** Timer tick period when ticks are enabled. */
+    sim::DurationNs tick_period_ns = 1'000'000;
+};
+
+}  // namespace wave::ghost

@@ -1,0 +1,276 @@
+#include "ghost/kernel.h"
+
+#include "sim/trace.h"
+
+#include <deque>
+#include <optional>
+
+namespace wave::ghost {
+
+KernelSched::KernelSched(sim::Simulator& sim, machine::Machine& machine,
+                         SchedTransport& transport, GhostCosts costs,
+                         KernelOptions options)
+    : sim_(sim),
+      machine_(machine),
+      transport_(transport),
+      costs_(costs),
+      options_(options)
+{
+}
+
+void
+KernelSched::AddThread(Tid tid, std::shared_ptr<ThreadBody> body)
+{
+    threads_.Add(tid, std::move(body));
+    // The creation message is sent from process context (not a specific
+    // scheduled core); model it as a detached host-side send.
+    sim_.Spawn(SendEvent(MsgType::kThreadCreated, tid, /*core=*/-1));
+}
+
+void
+KernelSched::WakeThread(Tid tid)
+{
+    ThreadRecord* rec = threads_.Find(tid);
+    WAVE_ASSERT(rec != nullptr, "waking unknown tid %d", tid);
+    if (rec->state == ThreadState::kRunning) {
+        rec->wake_pending = true;  // consumed when the thread blocks
+        return;
+    }
+    if (rec->state != ThreadState::kBlocked) {
+        return;  // already runnable; wakeup is a no-op
+    }
+    rec->state = ThreadState::kRunnable;
+    sim_.Spawn(SendEvent(MsgType::kThreadWakeup, tid, rec->last_core));
+}
+
+void
+KernelSched::ReannounceThread(Tid tid)
+{
+    ThreadRecord* rec = threads_.Find(tid);
+    WAVE_ASSERT(rec != nullptr, "re-announcing unknown tid %d", tid);
+    if (rec->state != ThreadState::kRunnable) return;
+    sim_.Spawn(SendEvent(MsgType::kThreadWakeup, tid, rec->last_core));
+}
+
+void
+KernelSched::Start(const std::vector<int>& cores)
+{
+    running_ = true;
+    for (int core : cores) {
+        sim_.Spawn(CoreLoop(core));
+        if (options_.timer_ticks) {
+            sim_.Spawn(TickLoop(core));
+        }
+    }
+}
+
+sim::Task<>
+KernelSched::SendEvent(MsgType type, Tid tid, int core)
+{
+    GhostMessage message{};
+    message.type = type;
+    message.tid = tid;
+    message.core = core;
+    message.payload = sim_.Now();
+    ++stats_.messages_sent;
+    co_await sim_.Delay(costs_.msg_prep_ns);
+    co_await transport_.HostSendMessage(message);
+}
+
+sim::Task<ThreadRecord*>
+KernelSched::CommitDecision(int core, const PendingDecision& pd)
+{
+    co_await sim_.Delay(costs_.commit_ns);
+    if (pd.decision.type == DecisionType::kIdle) {
+        ++stats_.commits_ok;
+        co_await transport_.HostSendOutcome(
+            core, {pd.txn_id, api::TxnStatus::kCommitted});
+        co_return nullptr;
+    }
+    ThreadRecord* rec = threads_.Find(pd.decision.tid);
+    if (rec == nullptr || rec->state != ThreadState::kRunnable) {
+        // Atomic-commit failure: the thread exited, is already running
+        // elsewhere, or blocked concurrently. Host state is untouched.
+        ++stats_.commits_failed;
+        WAVE_TRACE_EVENT(&sim_, "ghost",
+                         "commit FAILED txn=%llu tid=%d core=%d",
+                         static_cast<unsigned long long>(pd.txn_id),
+                         pd.decision.tid, core);
+        co_await transport_.HostSendOutcome(
+            core, {pd.txn_id, api::TxnStatus::kFailedStale});
+        co_return nullptr;
+    }
+    ++stats_.commits_ok;
+    WAVE_TRACE_EVENT(&sim_, "ghost", "commit txn=%llu tid=%d core=%d",
+                     static_cast<unsigned long long>(pd.txn_id),
+                     pd.decision.tid, core);
+    rec->state = ThreadState::kRunning;
+    rec->last_core = core;
+    co_await transport_.HostSendOutcome(
+        core, {pd.txn_id, api::TxnStatus::kCommitted});
+    co_return rec;
+}
+
+sim::Task<>
+KernelSched::TickLoop(int core)
+{
+    CoreInterrupt& irq = transport_.InterruptFor(core);
+    while (running_) {
+        co_await sim_.Delay(costs_.tick_period_ns);
+        irq.RaiseTick();
+    }
+}
+
+sim::Task<>
+KernelSched::CoreLoop(int core)
+{
+    machine::Cpu& cpu = machine_.HostCpu(core);
+    CoreInterrupt& irq = transport_.InterruptFor(core);
+
+    ThreadRecord* current = nullptr;
+    sim::DurationNs current_slice = 0;
+    sim::TimeNs stopped_at = 0;
+    bool measuring = false;
+    bool just_prefetched = false;
+    // Consumed-but-not-yet-wanted prestage decisions: a safety kick can
+    // surface a prestage while a thread still runs; the kernel keeps
+    // them locally for its next idle transitions instead of preempting.
+    std::deque<PendingDecision> stashed;
+
+    while (running_) {
+        // --- 1. interrupt handling ---
+        if (irq.ConsumeTick()) {
+            ++stats_.ticks_handled;
+            co_await cpu.Work(costs_.tick_ns);
+        }
+        if (irq.ConsumeKick()) {
+            co_await cpu.Work(transport_.InterruptReceiveCost());
+            // A kick means new decisions are (likely) in the queue; the
+            // software-coherence flush happens inside the poll. Keep
+            // draining: a prestage for later can sit *ahead of* the
+            // preemption decision the kick was actually about.
+            for (;;) {
+                auto pd = co_await transport_.HostPollDecision(
+                    core, /*flush_first=*/true);
+                if (!pd) break;  // spurious/already-consumed kick
+                if (current != nullptr && !pd->decision.preempt) {
+                    // A prestage surfaced early: keep it for later and
+                    // look for the decision that carried the kick.
+                    stashed.push_back(*pd);
+                    continue;
+                }
+                if (current != nullptr) {
+                    // Real preemption: put the running thread back.
+                    current->state = ThreadState::kRunnable;
+                    ++stats_.preemptions;
+                    WAVE_TRACE_EVENT(&sim_, "ghost",
+                                     "preempt tid=%d core=%d",
+                                     current->tid, core);
+                    const Tid preempted = current->tid;
+                    current = nullptr;
+                    co_await SendEvent(MsgType::kThreadPreempted,
+                                       preempted, core);
+                }
+                if (!stashed.empty()) {
+                    // Enforce committed transactions in queue order:
+                    // earlier prestages run before this preemption's
+                    // pick, which waits its turn in the stash.
+                    stashed.push_back(*pd);
+                    pd = stashed.front();
+                    stashed.pop_front();
+                }
+                ThreadRecord* next = co_await CommitDecision(core, *pd);
+                if (next != nullptr) {
+                    co_await cpu.Work(costs_.context_switch_ns);
+                    current = next;
+                    current_slice = pd->decision.slice_ns;
+                }
+                break;
+            }
+        }
+
+        // --- 2. find work if idle ---
+        if (current == nullptr) {
+            std::optional<PendingDecision> pd;
+            if (!stashed.empty()) {
+                pd = stashed.front();
+                stashed.pop_front();
+            } else {
+                pd = co_await transport_.HostPollDecision(
+                    core, /*flush_first=*/!just_prefetched);
+            }
+            just_prefetched = false;
+            if (!pd) {
+                if (irq.Pending()) continue;  // raced with an interrupt
+                if (options_.poll_idle) {
+                    // Interrupts "disabled": spin on the queue instead.
+                    ++stats_.idle_polls;
+                    co_await cpu.Work(options_.poll_gap_ns);
+                    continue;
+                }
+                ++stats_.idle_waits;
+                co_await irq.WaitForInterrupt();
+                continue;
+            }
+            if (measuring) ++stats_.prestage_hits;
+            ThreadRecord* next = co_await CommitDecision(core, *pd);
+            if (next == nullptr) continue;
+            co_await cpu.Work(costs_.context_switch_ns);
+            current = next;
+            current_slice = pd->decision.slice_ns;
+        }
+
+        // --- 3. run the thread ---
+        if (measuring) {
+            stats_.ctx_switch_overhead.Record(sim_.Now() - stopped_at);
+            measuring = false;
+        }
+        RunContext ctx{sim_, cpu, irq, current_slice};
+        const RunStop stop = co_await current->body->Run(ctx);
+
+        if (stop == RunStop::kPreempted) {
+            // An interrupt cut the thread short; the top of the loop
+            // decides whether it carries a real preemption decision or
+            // is just a tick (in which case we resume this thread).
+            continue;
+        }
+
+        // --- 4. thread gave up the core: prefetch, update, notify ---
+        stopped_at = sim_.Now();
+        measuring = true;
+        if (options_.prefetch_decisions) {
+            co_await transport_.HostPrefetchDecision(core);
+            just_prefetched = true;
+        }
+        const Tid tid = current->tid;
+        MsgType event;
+        switch (stop) {
+          case RunStop::kBlocked:
+            if (current->wake_pending) {
+                // Wake raced with the block: skip the blocked state and
+                // report a yield, which both frees the core and
+                // re-enqueues the thread at the agent.
+                current->wake_pending = false;
+                current->state = ThreadState::kRunnable;
+                event = MsgType::kThreadYield;
+            } else {
+                current->state = ThreadState::kBlocked;
+                event = MsgType::kThreadBlocked;
+            }
+            break;
+          case RunStop::kYielded:
+            current->state = ThreadState::kRunnable;
+            event = MsgType::kThreadYield;
+            break;
+          case RunStop::kExited:
+          default:
+            current->state = ThreadState::kDead;
+            event = MsgType::kThreadDead;
+            break;
+        }
+        current = nullptr;
+        co_await SendEvent(event, tid, core);
+    }
+}
+
+}  // namespace wave::ghost

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ghOSt message and decision wire formats.
+ *
+ * The host kernel notifies the scheduling agent of thread lifecycle
+ * events; the agent answers with scheduling decisions, committed as
+ * Wave transactions. The formats mirror ghOSt's published message set
+ * (THREAD_CREATED / BLOCKED / WAKEUP / YIELD / PREEMPT / DEAD).
+ *
+ * Sizes matter: messages travel host->NIC (cheap posted writes), while
+ * decisions travel NIC->host, where the host pays per-word uncacheable
+ * read costs unless write-through caching is enabled — which is why
+ * decisions are kept to a single cache line (§5.3.2).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace wave::ghost {
+
+/** Thread identifier (host kernel TID). */
+using Tid = std::int32_t;
+
+constexpr Tid kNoThread = -1;
+
+/** Thread lifecycle events sent from the host kernel to the agent. */
+enum class MsgType : std::uint32_t {
+    kThreadCreated = 1,  ///< new thread entered the ghOSt class
+    kThreadBlocked = 2,  ///< thread blocked (e.g. futex, I/O)
+    kThreadWakeup = 3,   ///< blocked thread became runnable
+    kThreadYield = 4,    ///< thread voluntarily yielded
+    kThreadPreempted = 5,///< kernel preempted it (on agent decision)
+    kThreadDead = 6,     ///< thread exited
+};
+
+/** A thread-event message (host -> agent). */
+struct GhostMessage {
+    MsgType type;
+    Tid tid;
+    std::int32_t core;        ///< host core the event happened on
+    std::uint32_t _pad = 0;
+    std::uint64_t payload;    ///< event-specific (e.g. wake hint)
+};
+
+/** Agent decision kinds. */
+enum class DecisionType : std::uint32_t {
+    kRunThread = 1,  ///< context switch to `tid` on `core`
+    kIdle = 2,       ///< leave the core idle
+};
+
+/** A scheduling decision (agent -> host, inside a Wave transaction). */
+struct GhostDecision {
+    DecisionType type;
+    Tid tid;
+    std::int32_t core;
+    std::uint32_t slo_class = 0;  ///< multi-queue Shinjuku SLO tag
+    sim::DurationNs slice_ns;     ///< 0 = run to completion
+
+    /**
+     * True when the agent intends to preempt whatever runs on the
+     * core. Non-preempt decisions that reach a busy core are stashed
+     * by the kernel for its next idle transition (they are prestages
+     * that a safety kick surfaced early).
+     */
+    std::uint32_t preempt = 0;
+    std::uint32_t _pad = 0;
+};
+
+/**
+ * Wire sizing. ghOSt messages carry seqnums and barrier words beyond
+ * the fields above; the payload sizes reflect the real system's message
+ * footprint, which the agent must read per poll.
+ */
+struct GhostWire {
+    /** Host->NIC message queue entry payload. */
+    static constexpr std::size_t kMessagePayload = 120;
+
+    /** Inner decision payload (fits one line with the txn header). */
+    static constexpr std::size_t kDecisionPayload = 32;
+};
+
+}  // namespace wave::ghost

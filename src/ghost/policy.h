@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scheduling policy interface, implemented by the policies in
+ * src/sched (FIFO, Shinjuku, multi-queue Shinjuku, the VM policy).
+ *
+ * Policies are pure decision logic: they consume thread-event messages,
+ * maintain run queues, and pick threads for idle cores. The GhostAgent
+ * drives them identically whether it runs on the SmartNIC or on a host
+ * core — policy portability is a design goal of both ghOSt and Wave
+ * ("Keep Agents Modular", §6).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ghost/messages.h"
+#include "sim/time.h"
+
+namespace wave::ghost {
+
+/** Pure scheduling policy logic. */
+class SchedPolicy {
+  public:
+    virtual ~SchedPolicy() = default;
+
+    virtual std::string Name() const = 0;
+
+    /** Consumes one thread-event message. */
+    virtual void OnMessage(const GhostMessage& message) = 0;
+
+    /**
+     * Picks a thread for @p core, removing it from the run queue.
+     * Returns nullopt when nothing is runnable.
+     */
+    virtual std::optional<GhostDecision> PickNext(int core,
+                                                  sim::TimeNs now) = 0;
+
+    /**
+     * A committed decision failed its atomic commit (the thread died or
+     * changed state concurrently). The policy may requeue or drop it.
+     */
+    virtual void OnDecisionFailed(const GhostDecision& decision) = 0;
+
+    /**
+     * Whether the thread on @p core, running for @p ran_for, should be
+     * preempted (Shinjuku time slicing). Default: run to completion.
+     */
+    virtual bool
+    ShouldPreempt(int core, Tid running, sim::DurationNs ran_for) const
+    {
+        (void)core;
+        (void)running;
+        (void)ran_for;
+        return false;
+    }
+
+    /** Threads currently waiting in run queues. */
+    virtual std::size_t RunQueueDepth() const = 0;
+
+    /**
+     * Policy compute per decision, at reference-core speed. FIFO-class
+     * policies "require little compute" (§7.2.1); heavier policies
+     * override this.
+     */
+    virtual sim::DurationNs DecisionComputeNs() const { return 150; }
+
+    /** Policy compute per consumed message. */
+    virtual sim::DurationNs PerMessageComputeNs() const { return 50; }
+};
+
+}  // namespace wave::ghost

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CPU execution model.
+ *
+ * A Cpu is a serial execution resource with a clock domain. Work is
+ * expressed in nanoseconds at the *reference speed* (defined as one host
+ * x86 core at maximum turbo); a core's ClockDomain scales that into
+ * simulated time. This is how the model captures both the ARM-vs-x86
+ * per-cycle gap and turbo frequency changes (Figure 5) with one knob.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace wave::machine {
+
+/**
+ * A frequency/performance domain shared by a group of cores.
+ *
+ * speed() is a multiplier relative to the reference core: executing W
+ * reference-nanoseconds of work takes W / speed() simulated nanoseconds.
+ */
+class ClockDomain {
+  public:
+    explicit ClockDomain(double speed = 1.0) : speed_(speed) {}
+
+    double Speed() const { return speed_; }
+
+    void
+    SetSpeed(double speed)
+    {
+        WAVE_ASSERT(speed > 0.0);
+        speed_ = speed;
+    }
+
+  private:
+    double speed_;
+};
+
+/** A single hardware thread: runs one piece of work at a time. */
+class Cpu {
+  public:
+    Cpu(sim::Simulator& sim, std::string name, ClockDomain* domain)
+        : sim_(sim), name_(std::move(name)), domain_(domain)
+    {
+        WAVE_ASSERT(domain_ != nullptr);
+    }
+
+    Cpu(const Cpu&) = delete;
+    Cpu& operator=(const Cpu&) = delete;
+
+    /**
+     * Executes @p reference_ns of compute on this core.
+     *
+     * Scales by the clock domain's current speed (sampled at start).
+     * Asserts that the core is not already executing something — each
+     * core must host exactly one running activity at a time.
+     */
+    sim::Task<>
+    Work(sim::DurationNs reference_ns)
+    {
+        WAVE_ASSERT(!busy_, "core %s is already busy", name_.c_str());
+        busy_ = true;
+        const auto scaled = static_cast<sim::DurationNs>(
+            static_cast<double>(reference_ns) / domain_->Speed());
+        co_await sim_.Delay(scaled);
+        busy_ns_ += scaled;
+        busy_ = false;
+    }
+
+    /** Name for diagnostics, e.g. "host3" or "nic0". */
+    const std::string& Name() const { return name_; }
+
+    /** Total simulated time this core spent in Work(). */
+    sim::DurationNs BusyNs() const { return busy_ns_; }
+
+    /** True while a Work() call is in flight. */
+    bool Busy() const { return busy_; }
+
+    ClockDomain& Domain() { return *domain_; }
+    sim::Simulator& Sim() { return sim_; }
+
+  private:
+    sim::Simulator& sim_;
+    std::string name_;
+    ClockDomain* domain_;
+    sim::DurationNs busy_ns_ = 0;
+    bool busy_ = false;
+};
+
+}  // namespace wave::machine

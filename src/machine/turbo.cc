@@ -1,0 +1,41 @@
+#include "machine/turbo.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace wave::machine {
+
+TurboModel::TurboModel() : config_() {}
+
+TurboModel::TurboModel(Config config) : config_(std::move(config)) {}
+
+double
+TurboModel::Interpolate(const Curve& curve, int active)
+{
+    WAVE_ASSERT(!curve.empty());
+    if (active <= curve.front().first) return curve.front().second;
+    if (active >= curve.back().first) return curve.back().second;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (active <= curve[i].first) {
+            const auto [x0, y0] = curve[i - 1];
+            const auto [x1, y1] = curve[i];
+            const double t = static_cast<double>(active - x0) /
+                             static_cast<double>(x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    return curve.back().second;
+}
+
+double
+TurboModel::FrequencyGhz(int active_physical_cores,
+                         bool idle_cores_deep) const
+{
+    const Curve& curve =
+        idle_cores_deep ? config_.deep_idle : config_.shallow_idle;
+    const double freq = Interpolate(curve, std::max(active_physical_cores, 1));
+    return std::max(freq, config_.base_ghz);
+}
+
+}  // namespace wave::machine

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Host address-space model for the memory-management experiments (§4.2).
+ *
+ * The host kernel owns page tables with per-page accessed/dirty bits
+ * and a tier assignment (fast = local DRAM, slow = swap/remote). The
+ * workload touches pages (setting access bits); the memory manager
+ * harvests access bits — which requires a TLB flush, the §4.2 scan
+ * cost — and migrates batches between tiers through the madvise path.
+ * The kernel remains the source of truth: an agent can be restarted
+ * and re-pull everything from here (§6).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/time.h"
+
+namespace wave::memmgr {
+
+/** Memory tier a page lives in. */
+enum class Tier : std::uint8_t {
+    kFast = 0,  ///< local DRAM
+    kSlow = 1,  ///< compressed/remote/disk
+};
+
+/** Kernel page-size constant (4 KiB, as in the paper). */
+constexpr std::size_t kPageSize = 4096;
+
+/** A process address space: page table + tier bookkeeping. */
+class AddressSpace {
+  public:
+    explicit AddressSpace(std::size_t num_pages)
+        : accessed_(num_pages, 0), tier_(num_pages, 0)
+    {
+    }
+
+    std::size_t NumPages() const { return accessed_.size(); }
+
+    /** Workload access: sets the page's accessed bit. */
+    void
+    Touch(std::size_t page)
+    {
+        accessed_[Check(page)] = 1;
+        ++touches_;
+        if (tier_[page] != 0) ++slow_tier_touches_;
+    }
+
+    /** True if the page's accessed bit is set. */
+    bool Accessed(std::size_t page) const { return accessed_[Check(page)]; }
+
+    /**
+     * Harvests and clears accessed bits for [first, first+count).
+     * Returns the number of pages that were accessed. The caller is
+     * responsible for charging the TLB-flush cost this implies.
+     */
+    std::uint64_t
+    HarvestAccessBits(std::size_t first, std::size_t count,
+                      std::vector<std::uint8_t>* out = nullptr)
+    {
+        WAVE_ASSERT(first + count <= accessed_.size());
+        std::uint64_t hot = 0;
+        if (out) out->resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint8_t bit = accessed_[first + i];
+            hot += bit;
+            if (out) (*out)[i] = bit;
+            accessed_[first + i] = 0;
+        }
+        return hot;
+    }
+
+    Tier
+    TierOf(std::size_t page) const
+    {
+        return static_cast<Tier>(tier_[Check(page)]);
+    }
+
+    /** Moves one page between tiers (bookkeeping only; costs charged
+     *  by the migration path). */
+    void
+    SetTier(std::size_t page, Tier tier)
+    {
+        tier_[Check(page)] = static_cast<std::uint8_t>(tier);
+    }
+
+    /** Pages currently resident in the fast tier. */
+    std::size_t
+    FastTierPages() const
+    {
+        std::size_t fast = 0;
+        for (std::uint8_t t : tier_) {
+            fast += (t == 0);
+        }
+        return fast;
+    }
+
+    /** Fast-tier bytes (the RocksDB DRAM footprint metric, §7.4.2). */
+    std::size_t FastTierBytes() const { return FastTierPages() * kPageSize; }
+
+    std::uint64_t Touches() const { return touches_; }
+    std::uint64_t SlowTierTouches() const { return slow_tier_touches_; }
+
+  private:
+    std::size_t
+    Check(std::size_t page) const
+    {
+        WAVE_ASSERT(page < accessed_.size(), "page %zu out of range", page);
+        return page;
+    }
+
+    std::vector<std::uint8_t> accessed_;
+    std::vector<std::uint8_t> tier_;
+    std::uint64_t touches_ = 0;
+    std::uint64_t slow_tier_touches_ = 0;
+};
+
+/** Cost model for the in-kernel memory-management mechanism. */
+struct MemCosts {
+    /** TLB shootdown per access-bit scan of a batch. */
+    sim::DurationNs tlb_flush_ns = 4'000;
+
+    /** Kernel-side harvest cost per page (walk + clear). */
+    sim::DurationNs harvest_per_page_ns = 4;
+
+    /** madvise-path migration cost per page (unmap, copy, remap). */
+    sim::DurationNs migrate_per_page_ns = 1'800;
+};
+
+}  // namespace wave::memmgr

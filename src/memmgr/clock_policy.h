@@ -1,0 +1,131 @@
+/**
+ * @file
+ * LRU-CLOCK memory policy — the conventional baseline (§4.2).
+ *
+ * "Policy algorithms, such as LRU, also require significant compute, so
+ * policy designers resort to approximations like the LRU CLOCK
+ * algorithm." This implementation applies CLOCK at batch granularity:
+ * every batch is scanned at one fixed period (no per-batch adaptation),
+ * and a batch whose access bit has been clear for `cold_sweeps`
+ * consecutive scans is classified cold at the next epoch.
+ *
+ * Against SOL this trades per-scan compute (cheap: a bit test) for
+ * scan volume (every batch, every period, each costing TLB-flush
+ * amortization) — exactly the overhead SOL's Thompson-sampled scan
+ * frequencies attack. bench_memmgr_policies quantifies the trade.
+ */
+#pragma once
+
+#include <vector>
+
+#include "memmgr/policy.h"
+#include "sim/logging.h"
+
+namespace wave::memmgr {
+
+/** CLOCK configuration. */
+struct ClockConfig {
+    /** Uniform scan period for every batch. */
+    sim::DurationNs scan_period_ns = 1'200'000'000;  // 1.2 s
+
+    /** Migration epoch (matched to SOL's for comparability). */
+    sim::DurationNs epoch_ns = 38'400'000'000ull;  // 38.4 s
+
+    /** Consecutive untouched scans before a batch is cold. */
+    int cold_sweeps = 4;
+
+    /** A single accessed page marks the whole batch referenced. */
+    std::size_t pages_per_batch = 64;
+
+    /** Per-batch scan compute: test-and-clear plus hand advance. */
+    sim::DurationNs scan_compute_per_batch_ns = 220;
+
+    /** Per-batch serial merge compute. */
+    sim::DurationNs merge_compute_per_batch_ns = 120;
+};
+
+/** Batch-granular CLOCK policy. */
+class ClockPolicy : public MemPolicy {
+  public:
+    ClockPolicy(const ClockConfig& config, std::size_t num_batches)
+        : config_(config), batches_(num_batches)
+    {
+        WAVE_ASSERT(config.cold_sweeps > 0);
+    }
+
+    std::string Name() const override { return "lru-clock"; }
+
+    bool
+    Due(std::size_t batch, sim::TimeNs now) const override
+    {
+        return batches_[batch].next_scan <= now;
+    }
+
+    bool
+    ScanBatch(std::size_t batch, std::uint64_t accessed_pages,
+              sim::TimeNs now) override
+    {
+        BatchState& state = batches_[batch];
+        if (state.next_scan > now) return false;
+        if (accessed_pages > 0) {
+            state.idle_sweeps = 0;
+        } else {
+            ++state.idle_sweeps;
+        }
+        state.next_scan = now + config_.scan_period_ns;
+        return true;
+    }
+
+    std::vector<std::pair<std::size_t, Tier>>
+    EpochPlan() override
+    {
+        std::vector<std::pair<std::size_t, Tier>> plan;
+        for (std::size_t batch = 0; batch < batches_.size(); ++batch) {
+            BatchState& state = batches_[batch];
+            const Tier want = state.idle_sweeps >= config_.cold_sweeps
+                                  ? Tier::kSlow
+                                  : Tier::kFast;
+            if (want != state.tier) {
+                state.tier = want;
+                plan.emplace_back(batch, want);
+            }
+        }
+        return plan;
+    }
+
+    std::size_t NumBatches() const override { return batches_.size(); }
+    sim::DurationNs EpochNs() const override { return config_.epoch_ns; }
+    sim::DurationNs
+    MinScanPeriodNs() const override
+    {
+        return config_.scan_period_ns;
+    }
+    sim::DurationNs
+    ScanComputePerBatchNs() const override
+    {
+        return config_.scan_compute_per_batch_ns;
+    }
+    sim::DurationNs
+    MergeComputePerBatchNs() const override
+    {
+        return config_.merge_compute_per_batch_ns;
+    }
+
+    /** Test introspection: consecutive untouched scans of a batch. */
+    int IdleSweeps(std::size_t batch) const
+    {
+        return batches_[batch].idle_sweeps;
+    }
+
+  private:
+    struct BatchState {
+        sim::TimeNs next_scan = 0;
+        int idle_sweeps = 0;
+        Tier tier = Tier::kFast;
+    };
+
+    ClockConfig config_;
+    std::vector<BatchState> batches_;
+};
+
+}  // namespace wave::memmgr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory-management policy interface.
+ *
+ * A memory policy decides (a) when each page batch's access bits should
+ * be scanned — scans cost a TLB flush, so frequency matters — and
+ * (b) which batches belong in the fast tier at each migration epoch.
+ * SOL (src/sol) implements this with Thompson sampling; ClockPolicy
+ * below is the classic LRU-CLOCK approximation the paper cites as the
+ * conventional alternative (§4.2). The SolAgent drives either through
+ * this interface, so the two can be compared like-for-like.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "memmgr/address_space.h"
+#include "sim/time.h"
+
+namespace wave::memmgr {
+
+/** Decision logic for scan scheduling + tier classification. */
+class MemPolicy {
+  public:
+    virtual ~MemPolicy() = default;
+
+    virtual std::string Name() const = 0;
+
+    /** True if the batch's next scan time has arrived. */
+    virtual bool Due(std::size_t batch, sim::TimeNs now) const = 0;
+
+    /**
+     * Consumes one due batch's harvested access count; reschedules the
+     * batch's next scan. Returns true if the batch was due and scanned.
+     */
+    virtual bool ScanBatch(std::size_t batch,
+                           std::uint64_t accessed_pages,
+                           sim::TimeNs now) = 0;
+
+    /** Migration plan at an epoch boundary: (batch, new tier) pairs. */
+    virtual std::vector<std::pair<std::size_t, Tier>> EpochPlan() = 0;
+
+    virtual std::size_t NumBatches() const = 0;
+
+    /** Migration epoch length. */
+    virtual sim::DurationNs EpochNs() const = 0;
+
+    /** Fastest possible scan period (paces the agent loop). */
+    virtual sim::DurationNs MinScanPeriodNs() const = 0;
+
+    /** Parallelizable compute per scanned batch (reference core). */
+    virtual sim::DurationNs ScanComputePerBatchNs() const = 0;
+
+    /** Serial merge compute per scanned batch. */
+    virtual sim::DurationNs MergeComputePerBatchNs() const = 0;
+};
+
+}  // namespace wave::memmgr

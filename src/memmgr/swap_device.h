@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Slow-tier backing device (§4.2's "slow tier (remote DRAM,
+ * non-volatile memory, or disk)").
+ *
+ * Pages demoted by the memory manager live here; touching them faults
+ * and swaps the page back in. The device is a queueing system: a fixed
+ * number of channels, per-operation latency, and finite bandwidth — so
+ * fault storms (e.g. a mis-classified hot batch) show up as growing
+ * fault latency rather than a constant penalty.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "memmgr/address_space.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "stats/histogram.h"
+
+namespace wave::memmgr {
+
+/** Swap device performance model (NVMe-class defaults). */
+struct SwapConfig {
+    /** Per-operation device latency. */
+    sim::DurationNs op_latency_ns = 8'000;  // 8 us
+
+    /** Sustained transfer bandwidth (bytes per ns; 3.2 GB/s). */
+    double bytes_per_ns = 3.2;
+
+    /** Parallel channels (queue pairs). */
+    std::size_t channels = 8;
+};
+
+/** A queued slow-tier device. */
+class SwapDevice {
+  public:
+    SwapDevice(sim::Simulator& sim, SwapConfig config = {})
+        : sim_(sim), config_(config), channels_(sim, config.channels)
+    {
+    }
+
+    /**
+     * Faults @p pages pages in (or out): waits for a channel, then the
+     * device latency plus transfer time. Returns when the data is
+     * resident. Latency is recorded per operation.
+     */
+    sim::Task<>
+    Transfer(std::size_t pages)
+    {
+        const sim::TimeNs start = sim_.Now();
+        co_await channels_.Acquire();
+        const auto bytes = static_cast<double>(pages * kPageSize);
+        co_await sim_.Delay(
+            config_.op_latency_ns +
+            static_cast<sim::DurationNs>(bytes / config_.bytes_per_ns));
+        channels_.Release();
+        ++operations_;
+        pages_moved_ += pages;
+        latency_.Record(sim_.Now() - start);
+    }
+
+    /** Convenience single-page fault-in. */
+    sim::Task<> FaultIn() { co_await Transfer(1); }
+
+    std::uint64_t Operations() const { return operations_; }
+    std::uint64_t PagesMoved() const { return pages_moved_; }
+    const stats::Histogram& Latency() const { return latency_; }
+
+  private:
+    sim::Simulator& sim_;
+    SwapConfig config_;
+    sim::Resource channels_;
+    std::uint64_t operations_ = 0;
+    std::uint64_t pages_moved_ = 0;
+    stats::Histogram latency_;
+};
+
+}  // namespace wave::memmgr

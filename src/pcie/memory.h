@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Raw byte-addressable memory region.
+ *
+ * Backing store for both host DRAM buffers and SmartNIC SoC DRAM. The
+ * region itself has no timing; timing comes from the access paths laid
+ * over it (MmioMapping, DmaEngine, or zero-cost local access).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace wave::pcie {
+
+/** A contiguous, byte-addressable memory region. */
+class MemoryRegion {
+  public:
+    explicit MemoryRegion(std::size_t size) : data_(size) {}
+
+    std::size_t Size() const { return data_.size(); }
+
+    /** Raw copy out of the region (no simulated cost). */
+    void
+    ReadRaw(std::size_t offset, void* dst, std::size_t n) const
+    {
+        CheckRange(offset, n);
+        std::memcpy(dst, data_.data() + offset, n);
+    }
+
+    /** Raw copy into the region (no simulated cost). */
+    void
+    WriteRaw(std::size_t offset, const void* src, std::size_t n)
+    {
+        CheckRange(offset, n);
+        std::memcpy(data_.data() + offset, src, n);
+    }
+
+    const std::byte* Data() const { return data_.data(); }
+
+  private:
+    void
+    CheckRange(std::size_t offset, std::size_t n) const
+    {
+        WAVE_ASSERT(offset + n <= data_.size(),
+                    "access [%zu, %zu) outside region of %zu bytes", offset,
+                    offset + n, data_.size());
+    }
+
+    std::vector<std::byte> data_;
+};
+
+}  // namespace wave::pcie

@@ -1,0 +1,330 @@
+#include "pcie/mmio.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wave::pcie {
+
+void
+NicDram::RegisterHostMapping(HostMmioMapping* mapping)
+{
+    host_mappings_.push_back(mapping);
+}
+
+void
+NicDram::OnNicWrite(std::size_t offset, std::size_t n)
+{
+    for (HostMmioMapping* mapping : host_mappings_) {
+        if (config_.coherent) {
+            mapping->InvalidateLines(offset, n);
+        } else {
+            mapping->MarkNicDirtied(offset, n);
+        }
+    }
+}
+
+HostMmioMapping::HostMmioMapping(NicDram& dram, PteType type)
+    : dram_(dram), config_(dram.Config()), type_(type)
+{
+    WAVE_ASSERT(type != PteType::kWriteBack || config_.coherent,
+                "write-back host mappings of NIC DRAM require a coherent "
+                "interconnect");
+    dram.RegisterHostMapping(this);
+}
+
+sim::Task<>
+HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n)
+{
+    // Reads must observe our own buffered WC stores; real WC reads are
+    // unordered with the buffer, so Wave's queues always drain first.
+    if (wc_active_) {
+        co_await Sfence();
+    }
+    const bool cached_reads =
+        type_ == PteType::kWriteThrough || type_ == PteType::kWriteBack;
+    if (cached_reads) {
+        co_await ReadCachedWt(offset, dst, n);
+    } else {
+        co_await ReadUncached(offset, dst, n);
+    }
+}
+
+sim::Task<>
+HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
+{
+    const std::size_t words = WordsIn(n);
+    stats_.pcie_reads += words;
+    co_await dram_.Sim().Delay(config_.mmio_read_ns *
+                               static_cast<sim::DurationNs>(words));
+    dram_.Backing().ReadRaw(offset, dst, n);
+}
+
+sim::Task<>
+HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n)
+{
+    constexpr std::size_t kLine = PcieConfig::kLineSize;
+    const std::size_t first_line = LineOf(offset);
+    const std::size_t last_line = LineOf(offset + n - 1);
+
+    for (std::size_t line = first_line; line <= last_line; ++line) {
+        auto it = cache_.find(line);
+        if (it != cache_.end() && !it->second.data.empty()) {
+            // Filled line in cache: a hit, possibly a stale one.
+            stats_.cache_hits += 1;
+            if (it->second.nic_dirtied) stats_.stale_reads += 1;
+            co_await dram_.Sim().Delay(config_.cache_hit_ns);
+            continue;
+        }
+        if (it != cache_.end() &&
+            it->second.fill_done > dram_.Sim().Now()) {
+            // Prefetch in flight: wait for the remainder only.
+            stats_.prefetch_hits += 1;
+            co_await dram_.Sim().Delay(it->second.fill_done -
+                                       dram_.Sim().Now());
+        } else if (it != cache_.end()) {
+            // A completed prefetch whose snapshot event already landed
+            // would have non-empty data (handled above); an empty entry
+            // here means the snapshot races with us at this timestamp.
+            stats_.prefetch_hits += 1;
+            co_await dram_.Sim().Delay(config_.cache_hit_ns);
+        } else {
+            // Demand miss: full roundtrip for the line.
+            stats_.pcie_reads += 1;
+            co_await dram_.Sim().Delay(config_.mmio_read_ns);
+        }
+        // Snapshot the line's current contents into the host cache. Use
+        // operator[] again: a clflush may have raced with the fill.
+        CacheLine& cl = cache_[line];
+        cl.data.resize(kLine);
+        const std::size_t base = line * kLine;
+        const std::size_t len =
+            std::min(kLine, dram_.Backing().Size() - base);
+        dram_.Backing().ReadRaw(base, cl.data.data(), len);
+        cl.nic_dirtied = false;
+        cl.fill_done = dram_.Sim().Now();
+    }
+
+    // Serve the bytes from the cached copies (which may be stale — that
+    // is the point of modelling software coherence). A line ensured
+    // above can have been invalidated during a later line's fill (only
+    // in coherent mode, where remote stores erase it in hardware); in
+    // that case the backing store is authoritative and fresh.
+    for (std::size_t i = 0; i < n;) {
+        const std::size_t line = LineOf(offset + i);
+        const std::size_t line_off = (offset + i) % kLine;
+        const std::size_t chunk = std::min(kLine - line_off, n - i);
+        const auto it = cache_.find(line);
+        if (it != cache_.end() && !it->second.data.empty()) {
+            std::memcpy(static_cast<std::byte*>(dst) + i,
+                        it->second.data.data() + line_off, chunk);
+        } else {
+            WAVE_ASSERT(config_.coherent,
+                        "line vanished mid-read on a non-coherent link");
+            dram_.Backing().ReadRaw(offset + i,
+                                    static_cast<std::byte*>(dst) + i,
+                                    chunk);
+        }
+        i += chunk;
+    }
+}
+
+void
+HostMmioMapping::PostStores(std::size_t offset, const void* src,
+                            std::size_t n)
+{
+    // Posted writes become visible in NIC DRAM after the one-way delay.
+    // Scheduling each burst with the same delay preserves PCIe's posted
+    // write ordering (the event queue is FIFO at equal timestamps).
+    std::vector<std::byte> copy(n);
+    std::memcpy(copy.data(), src, n);
+    dram_.Sim().Schedule(
+        config_.posted_visibility_ns,
+        [this, offset, data = std::move(copy)] {
+            dram_.Backing().WriteRaw(offset, data.data(), data.size());
+        });
+}
+
+sim::Task<>
+HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
+{
+    if (type_ == PteType::kWriteCombining) {
+        // Stores accumulate in the combining buffer; leaving the current
+        // line drains it, like hardware WC buffers.
+        const std::size_t first_line = LineOf(offset);
+        const std::size_t last_line = LineOf(offset + n - 1);
+        if (wc_active_ && (first_line != wc_line_ || last_line != wc_line_)) {
+            co_await Sfence();
+        }
+        if (first_line == last_line) {
+            wc_active_ = true;
+            wc_line_ = first_line;
+            std::vector<std::byte> copy(n);
+            std::memcpy(copy.data(), src, n);
+            wc_stores_.emplace_back(offset, std::move(copy));
+            co_await dram_.Sim().Delay(
+                config_.wc_store_ns *
+                static_cast<sim::DurationNs>(WordsIn(n)));
+        } else {
+            // Multi-line store: issue line-by-line.
+            std::size_t done = 0;
+            while (done < n) {
+                const std::size_t line_off = (offset + done) %
+                                             PcieConfig::kLineSize;
+                const std::size_t chunk = std::min(
+                    PcieConfig::kLineSize - line_off, n - done);
+                co_await Write(offset + done,
+                               static_cast<const std::byte*>(src) + done,
+                               chunk);
+                done += chunk;
+            }
+        }
+        co_return;
+    }
+
+    // UC and WT stores are posted individually: 50 ns of CPU cost per
+    // 64-bit word, visible at the NIC after the one-way delay.
+    const std::size_t words = WordsIn(n);
+    stats_.posted_writes += words;
+    co_await dram_.Sim().Delay(config_.mmio_write_ns *
+                               static_cast<sim::DurationNs>(words));
+    if (type_ == PteType::kWriteThrough || type_ == PteType::kWriteBack) {
+        // Write-through updates any cached copy in place.
+        constexpr std::size_t kLine = PcieConfig::kLineSize;
+        for (std::size_t i = 0; i < n;) {
+            const std::size_t line = LineOf(offset + i);
+            const std::size_t line_off = (offset + i) % kLine;
+            const std::size_t chunk = std::min(kLine - line_off, n - i);
+            auto it = cache_.find(line);
+            if (it != cache_.end() && !it->second.data.empty()) {
+                std::memcpy(it->second.data.data() + line_off,
+                            static_cast<const std::byte*>(src) + i, chunk);
+            }
+            i += chunk;
+        }
+    }
+    PostStores(offset, src, n);
+}
+
+sim::Task<>
+HostMmioMapping::Sfence()
+{
+    if (!wc_active_) co_return;
+    stats_.wc_flushes += 1;
+    stats_.posted_writes += 1;  // the drained burst is one posted write
+    wc_active_ = false;
+    auto stores = std::move(wc_stores_);
+    wc_stores_.clear();
+    co_await dram_.Sim().Delay(config_.sfence_ns);
+    for (auto& [off, data] : stores) {
+        PostStores(off, data.data(), data.size());
+    }
+}
+
+void
+HostMmioMapping::Prefetch(std::size_t offset, std::size_t n)
+{
+    if (type_ != PteType::kWriteThrough && type_ != PteType::kWriteBack) {
+        return;  // prefetch only helps cacheable mappings
+    }
+    const std::size_t first_line = LineOf(offset);
+    const std::size_t last_line = LineOf(offset + n - 1);
+    for (std::size_t line = first_line; line <= last_line; ++line) {
+        auto it = cache_.find(line);
+        if (it != cache_.end()) continue;  // cached or already in flight
+        CacheLine& cl = cache_[line];
+        const sim::TimeNs fill_done =
+            dram_.Sim().Now() + config_.mmio_read_ns;
+        cl.fill_done = fill_done;
+        // Snapshot the line contents when the fill lands, so the data in
+        // the host cache is as-of fill time even if read much later.
+        dram_.Sim().ScheduleAt(fill_done, [this, line, fill_done] {
+            auto entry = cache_.find(line);
+            if (entry == cache_.end() || !entry->second.data.empty() ||
+                entry->second.fill_done != fill_done) {
+                return;  // clflushed or refilled in the meantime
+            }
+            constexpr std::size_t kLine = PcieConfig::kLineSize;
+            entry->second.data.resize(kLine);
+            const std::size_t base = line * kLine;
+            const std::size_t len =
+                std::min(kLine, dram_.Backing().Size() - base);
+            dram_.Backing().ReadRaw(base, entry->second.data.data(), len);
+            entry->second.nic_dirtied = false;
+        });
+    }
+}
+
+sim::Task<>
+HostMmioMapping::Clflush(std::size_t offset, std::size_t n)
+{
+    const std::size_t first_line = LineOf(offset);
+    const std::size_t last_line = LineOf(offset + n - 1);
+    sim::DurationNs cost = 0;
+    for (std::size_t line = first_line; line <= last_line; ++line) {
+        if (cache_.erase(line) > 0) {
+            stats_.clflushes += 1;
+            cost += config_.clflush_ns;
+        }
+    }
+    if (cost > 0) {
+        co_await dram_.Sim().Delay(cost);
+    }
+}
+
+void
+HostMmioMapping::InvalidateLines(std::size_t offset, std::size_t n)
+{
+    const std::size_t first_line = LineOf(offset);
+    const std::size_t last_line = LineOf(offset + n - 1);
+    for (std::size_t line = first_line; line <= last_line; ++line) {
+        cache_.erase(line);
+    }
+}
+
+void
+HostMmioMapping::MarkNicDirtied(std::size_t offset, std::size_t n)
+{
+    const std::size_t first_line = LineOf(offset);
+    const std::size_t last_line = LineOf(offset + n - 1);
+    for (std::size_t line = first_line; line <= last_line; ++line) {
+        auto it = cache_.find(line);
+        if (it != cache_.end() && !it->second.data.empty()) {
+            it->second.nic_dirtied = true;
+        }
+    }
+}
+
+NicLocalMapping::NicLocalMapping(NicDram& dram, PteType type)
+    : dram_(dram), config_(dram.Config()), type_(type)
+{
+    WAVE_ASSERT(type == PteType::kUncacheable || type == PteType::kWriteBack,
+                "NIC cores map their DRAM UC (baseline) or WB (optimized)");
+}
+
+sim::DurationNs
+NicLocalMapping::AccessCost(std::size_t n) const
+{
+    const auto words = static_cast<sim::DurationNs>(
+        (n + PcieConfig::kWordSize - 1) / PcieConfig::kWordSize);
+    const sim::DurationNs per_word = type_ == PteType::kUncacheable
+                                         ? config_.nic_uncached_access_ns
+                                         : config_.nic_wb_access_ns;
+    return per_word * words;
+}
+
+sim::Task<>
+NicLocalMapping::Read(std::size_t offset, void* dst, std::size_t n)
+{
+    co_await dram_.Sim().Delay(AccessCost(n));
+    dram_.Backing().ReadRaw(offset, dst, n);
+}
+
+sim::Task<>
+NicLocalMapping::Write(std::size_t offset, const void* src, std::size_t n)
+{
+    co_await dram_.Sim().Delay(AccessCost(n));
+    dram_.Backing().WriteRaw(offset, src, n);
+    dram_.OnNicWrite(offset, n);
+}
+
+}  // namespace wave::pcie

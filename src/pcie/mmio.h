@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MMIO access model over non-coherent PCIe (§5.2-5.3 of the paper).
+ *
+ * The SmartNIC exposes a window of its SoC DRAM to the host. The host
+ * maps that window with a chosen page-table-entry type and pays the
+ * corresponding costs:
+ *
+ *   - Uncacheable (UC): every 64-bit read is a 750 ns PCIe roundtrip;
+ *     every 64-bit write is a 50 ns posted store.
+ *   - Write-combining (WC): reads stay uncached, but stores land in a
+ *     64-byte combining buffer for ~2 ns each; the buffer drains as one
+ *     posted burst on sfence or when the store stream leaves the line.
+ *   - Write-through (WT): stores go straight to memory (posted), but the
+ *     first read of a line pulls the whole 64-byte line into the host
+ *     cache for one roundtrip; later reads of that line are cache hits.
+ *     Over non-coherent PCIe the cached copy can go STALE when the NIC
+ *     writes — Wave's software-coherence protocol must clflush it. Over
+ *     a coherent interconnect (config.coherent) hardware invalidates.
+ *
+ * The NIC side accesses the same bytes as local DRAM, either uncacheable
+ * (the un-optimized baseline in Table 3) or write-back (the "SmartNIC WB
+ * PTEs" optimization).
+ *
+ * All mappings move real bytes through the shared NicDram backing store
+ * with correct posted-write visibility ordering, so protocol bugs (e.g.
+ * reading an entry before its valid flag lands) surface in simulation
+ * exactly as they would on hardware.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pcie/config.h"
+#include "pcie/memory.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace wave::pcie {
+
+/** Page-table-entry cache attribute for a mapping (§5.3.1). */
+enum class PteType {
+    kUncacheable,
+    kWriteCombining,
+    kWriteThrough,
+    kWriteBack,
+};
+
+class HostMmioMapping;
+
+/** The MMIO-exposed region of SmartNIC SoC DRAM. */
+class NicDram {
+  public:
+    NicDram(sim::Simulator& sim, const PcieConfig& config, std::size_t size)
+        : sim_(sim), config_(config), backing_(size)
+    {
+    }
+
+    MemoryRegion& Backing() { return backing_; }
+    const PcieConfig& Config() const { return config_; }
+    sim::Simulator& Sim() { return sim_; }
+
+    /** Registers a host mapping for coherence callbacks. */
+    void RegisterHostMapping(HostMmioMapping* mapping);
+
+    /** Called on every NIC-side store for coherent-mode invalidation. */
+    void OnNicWrite(std::size_t offset, std::size_t n);
+
+  private:
+    sim::Simulator& sim_;
+    PcieConfig config_;
+    MemoryRegion backing_;
+    std::vector<HostMmioMapping*> host_mappings_;
+};
+
+/** Access statistics for assertions and bench reporting. */
+struct MmioStats {
+    std::uint64_t pcie_reads = 0;      ///< roundtrip line/word fetches
+    std::uint64_t cache_hits = 0;      ///< WT reads served from host cache
+    std::uint64_t prefetch_hits = 0;   ///< demand reads that met a prefetch
+    std::uint64_t posted_writes = 0;   ///< individual posted stores
+    std::uint64_t wc_flushes = 0;      ///< WC buffer drains
+    std::uint64_t clflushes = 0;       ///< explicit line flushes
+    std::uint64_t stale_reads = 0;     ///< hits on lines the NIC had dirtied
+};
+
+/**
+ * The host CPU's view of the NIC DRAM window, with PTE-type semantics.
+ *
+ * One mapping models one logical region (e.g. one queue); a host core
+ * performs at most one access at a time through it.
+ */
+class HostMmioMapping {
+  public:
+    HostMmioMapping(NicDram& dram, PteType type);
+
+    /** Demand read of [offset, offset+n). Applies UC or WT semantics. */
+    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n);
+
+    /** Store to [offset, offset+n). Applies UC, WT, or WC semantics. */
+    sim::Task<> Write(std::size_t offset, const void* src, std::size_t n);
+
+    /** Drains the write-combining buffer (no-op for other types). */
+    sim::Task<> Sfence();
+
+    /**
+     * Starts asynchronous fills of the lines covering the range
+     * (§5.4 "Prefetching MMIO Decisions"). Free for the caller; a later
+     * demand read waits only for the remaining fill time.
+     */
+    void Prefetch(std::size_t offset, std::size_t n);
+
+    /** Software coherence: drops cached copies of the covered lines. */
+    sim::Task<> Clflush(std::size_t offset, std::size_t n);
+
+    PteType Type() const { return type_; }
+    const MmioStats& Stats() const { return stats_; }
+
+  private:
+    friend class NicDram;
+
+    struct CacheLine {
+        std::vector<std::byte> data;  ///< empty while fill is in flight
+        sim::TimeNs fill_done = 0;    ///< when an in-flight fill lands
+        bool nic_dirtied = false;     ///< NIC wrote since we cached it
+    };
+
+    static std::size_t LineOf(std::size_t offset)
+    {
+        return offset / PcieConfig::kLineSize;
+    }
+    static std::size_t WordsIn(std::size_t n)
+    {
+        return (n + PcieConfig::kWordSize - 1) / PcieConfig::kWordSize;
+    }
+
+    sim::Task<> ReadUncached(std::size_t offset, void* dst, std::size_t n);
+    sim::Task<> ReadCachedWt(std::size_t offset, void* dst, std::size_t n);
+
+    /** Issues the posted stores for [offset, n) (visibility-delayed). */
+    void PostStores(std::size_t offset, const void* src, std::size_t n);
+
+    /** Hardware invalidation callback (coherent mode). */
+    void InvalidateLines(std::size_t offset, std::size_t n);
+
+    /** Marks overlapped cached lines stale (non-coherent NIC write). */
+    void MarkNicDirtied(std::size_t offset, std::size_t n);
+
+    NicDram& dram_;
+    const PcieConfig& config_;
+    PteType type_;
+    MmioStats stats_;
+
+    // WT line cache, keyed by line index.
+    std::map<std::size_t, CacheLine> cache_;
+
+    // Write-combining buffer: at most one line being combined.
+    bool wc_active_ = false;
+    std::size_t wc_line_ = 0;
+    std::vector<std::pair<std::size_t, std::vector<std::byte>>> wc_stores_;
+};
+
+/** A SmartNIC core's view of the NIC DRAM (its own local memory). */
+class NicLocalMapping {
+  public:
+    NicLocalMapping(NicDram& dram, PteType type);
+
+    /** Local read; cost depends on UC vs WB mapping. */
+    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n);
+
+    /** Local write; visible to the host's next PCIe fetch immediately. */
+    sim::Task<> Write(std::size_t offset, const void* src, std::size_t n);
+
+    PteType Type() const { return type_; }
+
+  private:
+    sim::DurationNs AccessCost(std::size_t n) const;
+
+    NicDram& dram_;
+    const PcieConfig& config_;
+    PteType type_;
+};
+
+}  // namespace wave::pcie

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MSI-X interrupt model (Table 2 rows 3-6).
+ *
+ * A SmartNIC agent sends an MSI-X vector to kick a specific host core
+ * (step 5 of the Wave decision lifetime, Figure 2). The sender pays the
+ * register-write cost (70 ns direct, 340 ns through the kernel ioctl
+ * path); the interrupt reaches the host core after the one-way PCIe
+ * trip; the host's handler entry costs the receive overhead (350 ns).
+ * The end-to-end number in Table 2 (1.6 µs) is send + PCIe + receive.
+ *
+ * Vectors can be masked (the "disable interrupts under heavy load"
+ * optimization from §5.1): sends while masked set only the pending bit,
+ * which the host observes when it next polls.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pcie/config.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace wave::pcie {
+
+/** One MSI-X vector targeting one host core. */
+class MsiXVector {
+  public:
+    MsiXVector(sim::Simulator& sim, const PcieConfig& config)
+        : sim_(sim), config_(config), arrival_(sim)
+    {
+    }
+
+    /** How the sender reaches the MSI-X register. */
+    enum class SendPath {
+        kRegisterWrite,  ///< direct userspace register write (70 ns)
+        kIoctl,          ///< through the NIC kernel (340 ns)
+    };
+
+    /**
+     * Sends the interrupt. Costs the sender the register-write time;
+     * the vector becomes pending at the host after the PCIe trip.
+     */
+    sim::Task<> Send(SendPath path = SendPath::kRegisterWrite);
+
+    /**
+     * Host side: suspends until the vector is pending, then clears it
+     * and pays the interrupt receive cost. Models a core taking the
+     * interrupt out of idle/halt.
+     */
+    sim::Task<> WaitAndReceive();
+
+    /** Host side: consumes a pending interrupt without blocking. */
+    bool ConsumePending();
+
+    /** True if an interrupt is latched and unconsumed. */
+    bool Pending() const { return pending_; }
+
+    /** Masks the vector: sends latch the pending bit but do not wake. */
+    void SetMasked(bool masked) { masked_ = masked; }
+    bool Masked() const { return masked_; }
+
+    /**
+     * Registers a callback invoked at delivery time (when the vector
+     * becomes pending at the host). Used to wire the vector into a host
+     * core's interrupt controller; the interrupt *receive* cost is paid
+     * by whoever handles it, not by this callback.
+     */
+    void SetDeliveryHandler(std::function<void()> handler)
+    {
+        delivery_handler_ = std::move(handler);
+    }
+
+    std::uint64_t SendCount() const { return sends_; }
+
+  private:
+    sim::Simulator& sim_;
+    PcieConfig config_;
+    sim::Signal arrival_;
+    std::function<void()> delivery_handler_;
+    bool pending_ = false;
+    bool masked_ = false;
+    std::uint64_t sends_ = 0;
+};
+
+}  // namespace wave::pcie

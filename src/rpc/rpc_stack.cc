@@ -1,0 +1,37 @@
+#include "rpc/rpc_stack.h"
+
+namespace wave::rpc {
+
+RpcStack::RpcStack(sim::Simulator& sim, std::vector<machine::Cpu*> cpus,
+                   RpcCosts costs)
+    : pool_(sim, std::move(cpus)), costs_(costs)
+{
+}
+
+void
+RpcStack::ProcessIncoming(workload::Request request,
+                          std::function<void(workload::Request)> deliver)
+{
+    workload::PoolJob job;
+    job.cost_ns = costs_.request_process_ns;
+    job.done = [request = std::move(request),
+                deliver = std::move(deliver)]() mutable {
+        deliver(std::move(request));
+    };
+    pool_.Submit(std::move(job));
+}
+
+void
+RpcStack::ProcessResponse(workload::Request request,
+                          std::function<void(workload::Request)> sent)
+{
+    workload::PoolJob job;
+    job.cost_ns = costs_.response_process_ns;
+    job.done = [request = std::move(request),
+                sent = std::move(sent)]() mutable {
+        sent(std::move(request));
+    };
+    pool_.Submit(std::move(job));
+}
+
+}  // namespace wave::rpc

@@ -1,0 +1,100 @@
+#include "sched/cfs_lite.h"
+
+#include <algorithm>
+
+namespace wave::sched {
+
+void
+CfsLitePolicy::Enqueue(ghost::Tid tid)
+{
+    if (dead_.count(tid) > 0 || queued_.count(tid) > 0) return;
+    // New or returning threads start at min_vruntime so they neither
+    // monopolize the CPU (vruntime 0) nor starve (huge vruntime).
+    auto it = vruntime_.find(tid);
+    if (it == vruntime_.end() || it->second < min_vruntime_) {
+        vruntime_[tid] = min_vruntime_;
+    }
+    queue_.emplace(vruntime_[tid], tid);
+    queued_.insert(tid);
+}
+
+void
+CfsLitePolicy::ChargeRunning(ghost::Tid tid, sim::TimeNs now)
+{
+    auto started = run_start_.find(tid);
+    if (started == run_start_.end()) return;
+    const sim::DurationNs ran = now - started->second;
+    run_start_.erase(started);
+    // vruntime advances inversely to weight: heavier threads age slower.
+    vruntime_[tid] +=
+        ran * kDefaultWeight / std::max<std::uint32_t>(WeightOf(tid), 1);
+}
+
+void
+CfsLitePolicy::OnMessage(const ghost::GhostMessage& message)
+{
+    switch (message.type) {
+      case ghost::MsgType::kThreadCreated:
+        Enqueue(message.tid);
+        break;
+      case ghost::MsgType::kThreadWakeup:
+        Enqueue(message.tid);
+        break;
+      case ghost::MsgType::kThreadYield:
+      case ghost::MsgType::kThreadPreempted:
+        ChargeRunning(message.tid, message.payload);
+        Enqueue(message.tid);
+        break;
+      case ghost::MsgType::kThreadBlocked:
+        ChargeRunning(message.tid, message.payload);
+        break;
+      case ghost::MsgType::kThreadDead:
+        ChargeRunning(message.tid, message.payload);
+        dead_.insert(message.tid);
+        break;
+    }
+}
+
+sim::DurationNs
+CfsLitePolicy::CurrentSlice() const
+{
+    const std::size_t nr = std::max<std::size_t>(queue_.size(), 1);
+    return std::max(min_granularity_,
+                    sched_latency_ / static_cast<sim::DurationNs>(nr));
+}
+
+std::optional<ghost::GhostDecision>
+CfsLitePolicy::PickNext(int core, sim::TimeNs now)
+{
+    while (!queue_.empty()) {
+        const auto [vruntime, tid] = *queue_.begin();
+        queue_.erase(queue_.begin());
+        queued_.erase(tid);
+        if (dead_.count(tid) > 0) continue;
+        min_vruntime_ = std::max(min_vruntime_, vruntime);
+        run_start_[tid] = now;
+        ghost::GhostDecision decision{};
+        decision.type = ghost::DecisionType::kRunThread;
+        decision.tid = tid;
+        decision.core = core;
+        decision.slice_ns = CurrentSlice();
+        return decision;
+    }
+    return std::nullopt;
+}
+
+void
+CfsLitePolicy::OnDecisionFailed(const ghost::GhostDecision& decision)
+{
+    run_start_.erase(decision.tid);
+    Enqueue(decision.tid);
+}
+
+bool
+CfsLitePolicy::ShouldPreempt(int /*core*/, ghost::Tid /*running*/,
+                             sim::DurationNs ran_for) const
+{
+    return !queue_.empty() && ran_for > CurrentSlice();
+}
+
+}  // namespace wave::sched

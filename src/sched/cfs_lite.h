@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A CFS-style fair scheduling policy.
+ *
+ * The paper's baseline host scheduler is Linux CFS (§4.1); this policy
+ * implements its core mechanism — pick the runnable thread with the
+ * smallest virtual runtime, with a sched-latency-derived time slice —
+ * over the same SchedPolicy interface as the ported policies, so the
+ * fairness baseline can run on-host or offloaded like everything else.
+ *
+ * Deliberately "lite": no cgroup hierarchies, no load tracking (PELT),
+ * no wake-affinity heuristics — the decision core only.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ghost/policy.h"
+
+namespace wave::sched {
+
+/** Weighted-fair virtual-runtime policy (CFS decision core). */
+class CfsLitePolicy : public ghost::SchedPolicy {
+  public:
+    /**
+     * @param sched_latency period across which every runnable thread
+     *        should run once (Linux default: 6 ms, scaled by load).
+     * @param min_granularity lower bound on any slice (Linux: 0.75 ms).
+     */
+    explicit CfsLitePolicy(sim::DurationNs sched_latency = 6'000'000,
+                           sim::DurationNs min_granularity = 750'000)
+        : sched_latency_(sched_latency),
+          min_granularity_(min_granularity)
+    {
+    }
+
+    std::string Name() const override { return "cfs-lite"; }
+
+    /** Sets a thread's weight (nice 0 == 1024, like the kernel). */
+    void
+    SetWeight(ghost::Tid tid, std::uint32_t weight)
+    {
+        weight_[tid] = weight;
+    }
+
+    void OnMessage(const ghost::GhostMessage& message) override;
+    std::optional<ghost::GhostDecision> PickNext(int core,
+                                                 sim::TimeNs now) override;
+    void OnDecisionFailed(const ghost::GhostDecision& decision) override;
+
+    bool ShouldPreempt(int core, ghost::Tid running,
+                       sim::DurationNs ran_for) const override;
+
+    std::size_t RunQueueDepth() const override { return queue_.size(); }
+
+    /** Virtual runtime accumulated by a thread (test introspection). */
+    std::uint64_t
+    Vruntime(ghost::Tid tid) const
+    {
+        auto it = vruntime_.find(tid);
+        return it == vruntime_.end() ? 0 : it->second;
+    }
+
+    /** Fair slice for the current load. */
+    sim::DurationNs CurrentSlice() const;
+
+  private:
+    static constexpr std::uint32_t kDefaultWeight = 1024;
+
+    std::uint32_t
+    WeightOf(ghost::Tid tid) const
+    {
+        auto it = weight_.find(tid);
+        return it == weight_.end() ? kDefaultWeight : it->second;
+    }
+
+    void Enqueue(ghost::Tid tid);
+    void ChargeRunning(ghost::Tid tid, sim::TimeNs now);
+
+    sim::DurationNs sched_latency_;
+    sim::DurationNs min_granularity_;
+
+    /** Runnable threads ordered by (vruntime, tid). */
+    std::set<std::pair<std::uint64_t, ghost::Tid>> queue_;
+    std::unordered_map<ghost::Tid, std::uint64_t> vruntime_;
+    std::unordered_map<ghost::Tid, std::uint32_t> weight_;
+    std::unordered_map<ghost::Tid, sim::TimeNs> run_start_;
+    std::unordered_set<ghost::Tid> queued_;
+    std::unordered_set<ghost::Tid> dead_;
+    std::uint64_t min_vruntime_ = 0;
+};
+
+}  // namespace wave::sched

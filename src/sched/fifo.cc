@@ -1,0 +1,61 @@
+#include "sched/fifo.h"
+
+namespace wave::sched {
+
+void
+FifoPolicy::Enqueue(ghost::Tid tid, bool front)
+{
+    if (dead_.count(tid) > 0 || queued_.count(tid) > 0) return;
+    if (front) {
+        run_queue_.push_front(tid);
+    } else {
+        run_queue_.push_back(tid);
+    }
+    queued_.insert(tid);
+}
+
+void
+FifoPolicy::OnMessage(const ghost::GhostMessage& message)
+{
+    switch (message.type) {
+      case ghost::MsgType::kThreadCreated:
+      case ghost::MsgType::kThreadWakeup:
+      case ghost::MsgType::kThreadYield:
+      case ghost::MsgType::kThreadPreempted:
+        Enqueue(message.tid);
+        break;
+      case ghost::MsgType::kThreadBlocked:
+        break;  // it will come back with a wakeup
+      case ghost::MsgType::kThreadDead:
+        dead_.insert(message.tid);
+        break;
+    }
+}
+
+std::optional<ghost::GhostDecision>
+FifoPolicy::PickNext(int core, sim::TimeNs /*now*/)
+{
+    while (!run_queue_.empty()) {
+        const ghost::Tid tid = run_queue_.front();
+        run_queue_.pop_front();
+        queued_.erase(tid);
+        if (dead_.count(tid) > 0) continue;
+        ghost::GhostDecision decision{};
+        decision.type = ghost::DecisionType::kRunThread;
+        decision.tid = tid;
+        decision.core = core;
+        decision.slice_ns = 0;  // run to completion
+        return decision;
+    }
+    return std::nullopt;
+}
+
+void
+FifoPolicy::OnDecisionFailed(const ghost::GhostDecision& decision)
+{
+    // Preserve FIFO order: the thread lost its turn through no fault of
+    // its own, so it goes back to the front (unless it died).
+    Enqueue(decision.tid, /*front=*/true);
+}
+
+}  // namespace wave::sched

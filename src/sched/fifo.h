@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run-to-completion FIFO policy (§7.2.2).
+ *
+ * The simplest ghOSt policy the paper ports: runnable threads queue in
+ * arrival order and run until they block. It needs little compute but
+ * interacts with the workload on every request, which is exactly why
+ * the paper uses it to stress Wave's API and PCIe queues.
+ */
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "ghost/policy.h"
+
+namespace wave::sched {
+
+/** FIFO run-to-completion scheduling policy. */
+class FifoPolicy : public ghost::SchedPolicy {
+  public:
+    FifoPolicy() = default;
+
+    std::string Name() const override { return "fifo"; }
+
+    void OnMessage(const ghost::GhostMessage& message) override;
+
+    std::optional<ghost::GhostDecision> PickNext(int core,
+                                                 sim::TimeNs now) override;
+
+    void OnDecisionFailed(const ghost::GhostDecision& decision) override;
+
+    std::size_t RunQueueDepth() const override { return run_queue_.size(); }
+
+  protected:
+    /** Enqueues a thread unless it is already queued or dead. */
+    void Enqueue(ghost::Tid tid, bool front = false);
+
+    std::deque<ghost::Tid> run_queue_;
+    std::unordered_set<ghost::Tid> queued_;
+    std::unordered_set<ghost::Tid> dead_;
+};
+
+}  // namespace wave::sched

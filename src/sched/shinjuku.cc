@@ -1,0 +1,112 @@
+#include "sched/shinjuku.h"
+
+#include "sim/logging.h"
+
+namespace wave::sched {
+
+void
+MultiQueueShinjukuPolicy::SetThreadSlo(ghost::Tid tid,
+                                       std::uint32_t slo_class)
+{
+    WAVE_ASSERT(slo_class < queues_.size(), "slo class %u out of range",
+                slo_class);
+    slo_of_[tid] = slo_class;
+}
+
+std::uint32_t
+MultiQueueShinjukuPolicy::ClassOf(ghost::Tid tid) const
+{
+    auto it = slo_of_.find(tid);
+    // Untagged threads go to the most lenient class.
+    return it == slo_of_.end()
+               ? static_cast<std::uint32_t>(queues_.size() - 1)
+               : it->second;
+}
+
+void
+MultiQueueShinjukuPolicy::Enqueue(ghost::Tid tid, bool front)
+{
+    if (dead_.count(tid) > 0 || queued_.count(tid) > 0) return;
+    auto& queue = queues_[ClassOf(tid)];
+    if (front) {
+        queue.push_front(tid);
+    } else {
+        queue.push_back(tid);
+    }
+    queued_.insert(tid);
+}
+
+void
+MultiQueueShinjukuPolicy::OnMessage(const ghost::GhostMessage& message)
+{
+    switch (message.type) {
+      case ghost::MsgType::kThreadCreated:
+      case ghost::MsgType::kThreadWakeup:
+      case ghost::MsgType::kThreadYield:
+      case ghost::MsgType::kThreadPreempted:
+        Enqueue(message.tid);
+        break;
+      case ghost::MsgType::kThreadBlocked:
+        break;
+      case ghost::MsgType::kThreadDead:
+        dead_.insert(message.tid);
+        slo_of_.erase(message.tid);
+        break;
+    }
+}
+
+std::optional<ghost::GhostDecision>
+MultiQueueShinjukuPolicy::PickNext(int core, sim::TimeNs /*now*/)
+{
+    for (std::size_t cls = 0; cls < queues_.size(); ++cls) {
+        auto& queue = queues_[cls];
+        while (!queue.empty()) {
+            const ghost::Tid tid = queue.front();
+            queue.pop_front();
+            queued_.erase(tid);
+            if (dead_.count(tid) > 0) continue;
+            ghost::GhostDecision decision{};
+            decision.type = ghost::DecisionType::kRunThread;
+            decision.tid = tid;
+            decision.core = core;
+            decision.slo_class = static_cast<std::uint32_t>(cls);
+            decision.slice_ns = slice_ns_;
+            return decision;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+MultiQueueShinjukuPolicy::OnDecisionFailed(
+    const ghost::GhostDecision& decision)
+{
+    Enqueue(decision.tid, /*front=*/true);
+}
+
+bool
+MultiQueueShinjukuPolicy::ShouldPreempt(int /*core*/, ghost::Tid running,
+                                        sim::DurationNs ran_for) const
+{
+    if (ran_for <= slice_ns_) return false;
+    // Preempt when anything of equal-or-stricter class waits.
+    const std::uint32_t running_class = ClassOf(running);
+    for (std::size_t cls = 0; cls <= running_class; ++cls) {
+        if (!queues_[cls].empty()) return true;
+    }
+    // A long-running strict thread can also be preempted by lenient
+    // waiters once it exceeds its slice (round-robin fairness).
+    return RunQueueDepth() > 0;
+}
+
+std::size_t
+MultiQueueShinjukuPolicy::RunQueueDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto& queue : queues_) {
+        depth += queue.size();
+    }
+    return depth;
+}
+
+}  // namespace wave::sched

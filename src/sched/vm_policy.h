@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Virtual-machine scheduling policy (§7.2.4), inspired by Tableau.
+ *
+ * vCPU threads are pinned to logical cores (each core multiplexes one
+ * vCPU from each of the co-located VMs). A vCPU runs for a quantum of
+ * 5-10 ms with fair sharing between the VMs on the core; preemption is
+ * agent-driven at millisecond granularity. Because the policy is a
+ * single polling instance (on the SmartNIC or a host core), per-core
+ * timer ticks can be disabled — idle cores reach deep C-states and the
+ * busy cores turbo higher, which Figure 5 measures.
+ */
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "ghost/policy.h"
+
+namespace wave::sched {
+
+/** Pinned, quantum-based fair VM scheduler. */
+class VmPolicy : public ghost::SchedPolicy {
+  public:
+    explicit VmPolicy(sim::DurationNs quantum_ns = 5'000'000)
+        : quantum_ns_(quantum_ns)
+    {
+    }
+
+    std::string Name() const override { return "vm-tableau"; }
+
+    /** Pins a vCPU thread to a logical core. */
+    void
+    PinVcpu(ghost::Tid tid, int core)
+    {
+        core_of_[tid] = core;
+    }
+
+    void OnMessage(const ghost::GhostMessage& message) override;
+    std::optional<ghost::GhostDecision> PickNext(int core,
+                                                 sim::TimeNs now) override;
+    void OnDecisionFailed(const ghost::GhostDecision& decision) override;
+
+    bool
+    ShouldPreempt(int core, ghost::Tid running,
+                  sim::DurationNs ran_for) const override;
+
+    std::size_t RunQueueDepth() const override;
+
+    /** VM decisions are ms-scale; policy compute is still cheap. */
+    sim::DurationNs DecisionComputeNs() const override { return 400; }
+
+  private:
+    void Enqueue(ghost::Tid tid);
+
+    sim::DurationNs quantum_ns_;
+    std::map<ghost::Tid, int> core_of_;
+    std::map<int, std::deque<ghost::Tid>> runnable_;  ///< per core
+    std::unordered_set<ghost::Tid> queued_;
+    std::unordered_set<ghost::Tid> dead_;
+};
+
+}  // namespace wave::sched

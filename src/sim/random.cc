@@ -1,0 +1,172 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace wave::sim {
+
+namespace {
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** splitmix64, used to expand the user seed into full engine state. */
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(s);
+    }
+}
+
+std::uint64_t
+Rng::Next()
+{
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 high bits -> uniform in [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::NextBounded(std::uint64_t bound)
+{
+    WAVE_ASSERT(bound > 0);
+    // Debiased modulo via rejection on the top of the range.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+        const std::uint64_t r = Next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::NextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    WAVE_ASSERT(lo <= hi);
+    return lo + NextBounded(hi - lo + 1);
+}
+
+bool
+Rng::NextBernoulli(double p)
+{
+    return NextDouble() < p;
+}
+
+double
+Rng::NextExponential(double mean)
+{
+    // Inverse CDF; 1 - u avoids log(0).
+    return -mean * std::log1p(-NextDouble());
+}
+
+double
+Rng::NextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1;
+    do {
+        u1 = NextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::NextGamma(double shape)
+{
+    WAVE_ASSERT(shape > 0.0);
+    if (shape < 1.0) {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+        const double u = std::max(NextDouble(), 1e-300);
+        return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia-Tsang squeeze method.
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x;
+        double v;
+        do {
+            x = NextGaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = NextDouble();
+        if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+double
+Rng::NextBeta(double alpha, double beta)
+{
+    const double x = NextGamma(alpha);
+    const double y = NextGamma(beta);
+    return x / (x + y);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta)
+{
+    WAVE_ASSERT(n > 0);
+    WAVE_ASSERT(theta >= 0.0);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        sum += 1.0 / std::pow(static_cast<double>(rank + 1), theta);
+        cdf_[rank] = sum;
+    }
+    for (auto& c : cdf_) {
+        c /= sum;
+    }
+    cdf_.back() = 1.0;  // guard against rounding in the tail
+}
+
+std::size_t
+ZipfDistribution::Sample(Rng& rng) const
+{
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace wave::sim

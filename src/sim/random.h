@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic random-number generation for simulations.
+ *
+ * A thin xoshiro256** engine plus the distributions the Wave experiments
+ * need: uniform, exponential (open-loop Poisson arrivals), Zipf (skewed
+ * key/page popularity), Bernoulli (request-mix selection), and Beta /
+ * Gamma (SOL's Thompson sampling). Everything is seeded explicitly so
+ * simulation runs are reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wave::sim {
+
+/** xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t Next();
+
+    /** Uniform double in [0, 1). */
+    double NextDouble();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t NextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** True with probability @p p. */
+    bool NextBernoulli(double p);
+
+    /** Exponential variate with the given mean. */
+    double NextExponential(double mean);
+
+    /** Standard normal variate (Box-Muller with caching). */
+    double NextGaussian();
+
+    /** Gamma(shape, scale=1) variate (Marsaglia-Tsang). shape > 0. */
+    double NextGamma(double shape);
+
+    /** Beta(alpha, beta) variate via two Gammas. alpha, beta > 0. */
+    double NextBeta(double alpha, double beta);
+
+    // Engine interface so Rng works with <random> adaptors if needed.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+    result_type operator()() { return Next(); }
+
+  private:
+    std::uint64_t state_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+/**
+ * Zipf distribution over {0, 1, ..., n-1} with exponent theta.
+ *
+ * Rank 0 is most popular. Uses a precomputed CDF with binary search,
+ * which is exact and fast for the population sizes the experiments use
+ * (up to a few million pages/keys).
+ */
+class ZipfDistribution {
+  public:
+    ZipfDistribution(std::size_t n, double theta);
+
+    /** Samples a rank in [0, n). */
+    std::size_t Sample(Rng& rng) const;
+
+    std::size_t Size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace wave::sim

@@ -1,0 +1,119 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace wave::sim {
+
+namespace {
+
+/** Root frames are swept for completed processes this often. */
+constexpr std::uint64_t kSweepInterval = 8192;
+
+}  // namespace
+
+Simulator::~Simulator()
+{
+    // Drop pending events first: their closures may capture coroutine
+    // handles, but the frames they reference are owned by roots_ (directly
+    // or through nested Task ownership) and are destroyed below. The
+    // closures are never invoked after this point, so no dangling resume
+    // can occur.
+    while (!events_.empty()) {
+        events_.pop();
+    }
+    SweepRoots(/*all=*/true);
+}
+
+void
+Simulator::Schedule(DurationNs delay, std::function<void()> fn)
+{
+    ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::ScheduleAt(TimeNs when, std::function<void()> fn)
+{
+    WAVE_ASSERT(when >= now_, "scheduling into the past");
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+Simulator::Spawn(Task<> task)
+{
+    auto handle = task.Release();
+    WAVE_ASSERT(handle != nullptr, "spawning an empty task");
+    roots_.push_back(handle);
+    Schedule(0, [handle] { handle.resume(); });
+}
+
+bool
+Simulator::Step()
+{
+    if (events_.empty()) return false;
+    // Move the closure out before popping so it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    WAVE_ASSERT(ev.when >= now_, "event queue went backwards");
+    now_ = ev.when;
+    ev.fn();
+    if (++events_executed_ % kSweepInterval == 0) {
+        SweepRoots(/*all=*/false);
+    }
+    return true;
+}
+
+void
+Simulator::Run()
+{
+    stopped_ = false;
+    while (!stopped_ && Step()) {
+    }
+}
+
+TimeNs
+Simulator::RunFor(DurationNs duration)
+{
+    RunUntil(now_ + duration);
+    return now_;
+}
+
+void
+Simulator::RunUntil(TimeNs when)
+{
+    stopped_ = false;
+    while (!stopped_ && !events_.empty() && events_.top().when <= when) {
+        Step();
+    }
+    if (!stopped_ && when > now_) {
+        now_ = when;
+    }
+}
+
+void
+Simulator::SweepRoots(bool all)
+{
+    auto it = roots_.begin();
+    while (it != roots_.end()) {
+        if (all || it->done()) {
+            if (it->done() && it->promise().exception) {
+                // A detached process died with an exception nobody can
+                // observe; surface it loudly instead of losing it.
+                try {
+                    std::rethrow_exception(it->promise().exception);
+                } catch (const std::exception& e) {
+                    Panic("root process threw: %s", e.what());
+                } catch (...) {
+                    Panic("root process threw a non-std exception");
+                }
+            }
+            it->destroy();
+            it = roots_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace wave::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * The Simulator owns a time-ordered event queue and the set of root
+ * coroutine processes spawned into it. Components schedule callbacks at
+ * future simulated times; processes suspend on awaitables (Delay, sync
+ * primitives, hardware-model operations) whose resumptions are themselves
+ * events. Events at equal timestamps run in FIFO schedule order, so runs
+ * are fully deterministic for a fixed seed.
+ */
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace wave::sim {
+
+/** Discrete-event simulator: event queue + process registry + clock. */
+class Simulator {
+  public:
+    Simulator() = default;
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time. */
+    TimeNs Now() const { return now_; }
+
+    /** Schedules @p fn to run @p delay nanoseconds from now. */
+    void Schedule(DurationNs delay, std::function<void()> fn);
+
+    /** Schedules @p fn at absolute time @p when (must be >= Now()). */
+    void ScheduleAt(TimeNs when, std::function<void()> fn);
+
+    /**
+     * Starts a detached coroutine process.
+     *
+     * The simulator takes ownership of the coroutine frame: the first
+     * resume is scheduled as an event at the current time, and any frame
+     * still suspended at simulator destruction is destroyed (tearing down
+     * nested tasks), so infinite server loops do not leak.
+     */
+    void Spawn(Task<> task);
+
+    /** Runs until the event queue is empty or Stop() is called. */
+    void Run();
+
+    /**
+     * Runs all events up to and including time Now()+duration, then
+     * advances the clock to exactly that time. Returns the new Now().
+     */
+    TimeNs RunFor(DurationNs duration);
+
+    /** Runs all events up to and including @p when; clock ends at when. */
+    void RunUntil(TimeNs when);
+
+    /** Executes the single earliest event. Returns false if none. */
+    bool Step();
+
+    /** Makes Run()/RunFor()/RunUntil() return after the current event. */
+    void Stop() { stopped_ = true; }
+
+    /** Number of events executed since construction (for tests/metrics). */
+    std::uint64_t EventsExecuted() const { return events_executed_; }
+
+    /** Awaitable: suspends the calling process for @p delay ns. */
+    auto
+    Delay(DurationNs delay)
+    {
+        struct Awaiter {
+            Simulator& sim;
+            DurationNs delay;
+
+            bool await_ready() const { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sim.Schedule(delay, [h] { h.resume(); });
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, delay};
+    }
+
+    /**
+     * Awaitable: reschedules the calling process at the current time,
+     * letting all already-queued events at Now() run first.
+     */
+    auto Yield() { return Delay(0); }
+
+  private:
+    struct Event {
+        TimeNs when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event& other) const
+        {
+            if (when != other.when) return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Destroys finished root frames; destroys all frames if @p all. */
+    void SweepRoots(bool all);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
+    TimeNs now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace wave::sim

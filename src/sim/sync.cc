@@ -1,0 +1,41 @@
+#include "sim/sync.h"
+
+#include <memory>
+#include <vector>
+
+namespace wave::sim {
+
+namespace {
+
+struct JoinState {
+    explicit JoinState(Simulator& sim) : signal(sim) {}
+
+    Signal signal;
+    std::size_t remaining = 0;
+};
+
+Task<>
+RunAndCount(std::shared_ptr<JoinState> state, Task<> task)
+{
+    co_await std::move(task);
+    if (--state->remaining == 0) {
+        state->signal.NotifyAll();
+    }
+}
+
+}  // namespace
+
+Task<>
+AwaitAll(Simulator& sim, std::vector<Task<>> tasks)
+{
+    auto state = std::make_shared<JoinState>(sim);
+    state->remaining = tasks.size();
+    for (auto& task : tasks) {
+        sim.Spawn(RunAndCount(state, std::move(task)));
+    }
+    while (state->remaining > 0) {
+        co_await state->signal.Wait();
+    }
+}
+
+}  // namespace wave::sim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Synchronization primitives for simulation processes.
+ *
+ * These are simulation-domain primitives (not thread-safe; the simulator
+ * is single-threaded). They follow the SimPy model: processes suspend on
+ * awaitables and are resumed by events scheduled at the current simulated
+ * time, so wakeups are ordered deterministically with everything else.
+ */
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace wave::sim {
+
+/**
+ * A condition-variable-like signal.
+ *
+ * Wait() suspends the caller until a subsequent NotifyOne()/NotifyAll().
+ * Notifications are not sticky: a notify with no waiters is a no-op.
+ * Waiters are resumed in FIFO order via scheduled events at Now().
+ */
+class Signal {
+  public:
+    explicit Signal(Simulator& sim) : sim_(sim) {}
+
+    Signal(const Signal&) = delete;
+    Signal& operator=(const Signal&) = delete;
+
+    /** Awaitable: suspends until notified. */
+    auto
+    Wait()
+    {
+        struct Awaiter {
+            Signal& signal;
+
+            bool await_ready() const { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                signal.waiters_.push_back(h);
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Resumes the oldest waiter, if any. */
+    void
+    NotifyOne()
+    {
+        if (waiters_.empty()) return;
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        sim_.Schedule(0, [h] { h.resume(); });
+    }
+
+    /** Resumes every currently-registered waiter. */
+    void
+    NotifyAll()
+    {
+        while (!waiters_.empty()) {
+            NotifyOne();
+        }
+    }
+
+    /** Number of processes currently blocked in Wait(). */
+    std::size_t WaiterCount() const { return waiters_.size(); }
+
+  private:
+    Simulator& sim_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * An unbounded FIFO channel between simulation processes.
+ *
+ * Push() never blocks; Receive() suspends until an item is available.
+ * Multiple concurrent receivers are supported; items are handed out in
+ * FIFO order across wakeups.
+ */
+template <typename T>
+class Channel {
+  public:
+    explicit Channel(Simulator& sim) : sim_(sim), signal_(sim) {}
+
+    /** Enqueues an item and wakes one waiting receiver. */
+    void
+    Push(T item)
+    {
+        items_.push_back(std::move(item));
+        signal_.NotifyOne();
+    }
+
+    /** Suspends until an item is available, then dequeues it. */
+    Task<T>
+    Receive()
+    {
+        while (items_.empty()) {
+            co_await signal_.Wait();
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        co_return item;
+    }
+
+    /** Non-blocking receive; empty optional if no item is queued. */
+    std::optional<T>
+    TryReceive()
+    {
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    std::size_t Size() const { return items_.size(); }
+    bool Empty() const { return items_.empty(); }
+
+  private:
+    Simulator& sim_;
+    Signal signal_;
+    std::deque<T> items_;
+};
+
+/**
+ * A counted resource (capacity-N semaphore).
+ *
+ * Models contended hardware such as a DMA engine with a fixed number of
+ * in-flight transactions or a serialized link.
+ */
+class Resource {
+  public:
+    Resource(Simulator& sim, std::size_t capacity)
+        : signal_(sim), capacity_(capacity)
+    {
+    }
+
+    /** Suspends until a unit is available, then holds it. */
+    Task<>
+    Acquire()
+    {
+        while (in_use_ >= capacity_) {
+            co_await signal_.Wait();
+        }
+        ++in_use_;
+    }
+
+    /** Returns a held unit and wakes one waiter. */
+    void
+    Release()
+    {
+        WAVE_ASSERT(in_use_ > 0, "Release without Acquire");
+        --in_use_;
+        signal_.NotifyOne();
+    }
+
+    std::size_t InUse() const { return in_use_; }
+    std::size_t Capacity() const { return capacity_; }
+
+  private:
+    Signal signal_;
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+};
+
+/**
+ * Runs @p tasks concurrently and completes when all of them finish.
+ *
+ * The tasks are spawned as detached processes; the returned task suspends
+ * until the last one completes.
+ */
+Task<> AwaitAll(Simulator& sim, std::vector<Task<>> tasks);
+
+}  // namespace wave::sim

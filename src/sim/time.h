@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Simulated-time definitions shared by every Wave module.
+ *
+ * All simulated durations and timestamps are expressed in integer
+ * nanoseconds. Nanosecond granularity is fine enough for the PCIe
+ * microbenchmarks reproduced from the paper (the smallest constant is a
+ * 50 ns posted MMIO write) and a 64-bit count overflows only after ~584
+ * simulated years.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace wave::sim {
+
+/** A point in simulated time, in nanoseconds since simulation start. */
+using TimeNs = std::uint64_t;
+
+/** A duration in simulated nanoseconds. */
+using DurationNs = std::uint64_t;
+
+namespace time_literals {
+
+constexpr TimeNs operator""_ns(unsigned long long v) { return v; }
+constexpr TimeNs operator""_us(unsigned long long v) { return v * 1'000ull; }
+constexpr TimeNs operator""_ms(unsigned long long v)
+{
+    return v * 1'000'000ull;
+}
+constexpr TimeNs operator""_s(unsigned long long v)
+{
+    return v * 1'000'000'000ull;
+}
+
+}  // namespace time_literals
+
+/** Convenience multipliers for non-literal arithmetic. */
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+/** Converts a nanosecond duration to fractional microseconds. */
+constexpr double ToUs(DurationNs ns) { return static_cast<double>(ns) / 1e3; }
+
+/** Converts a nanosecond duration to fractional milliseconds. */
+constexpr double ToMs(DurationNs ns) { return static_cast<double>(ns) / 1e6; }
+
+/** Converts a nanosecond duration to fractional seconds. */
+constexpr double ToSec(DurationNs ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace wave::sim

@@ -1,0 +1,111 @@
+#include "sim/trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace wave::sim {
+
+namespace {
+
+struct TraceState {
+    std::set<std::string> enabled;
+    bool all = false;
+    bool env_parsed = false;
+    std::uint64_t emitted = 0;
+};
+
+TraceState&
+State()
+{
+    static TraceState state;
+    return state;
+}
+
+}  // namespace
+
+void
+Trace::Enable(const std::string& category)
+{
+    if (category == "all") {
+        State().all = true;
+    } else {
+        State().enabled.insert(category);
+    }
+}
+
+void
+Trace::Disable(const std::string& category)
+{
+    if (category == "all") {
+        State().all = false;
+    } else {
+        State().enabled.erase(category);
+    }
+}
+
+void
+Trace::InitFromEnv()
+{
+    TraceState& state = State();
+    if (state.env_parsed) return;
+    state.env_parsed = true;
+    const char* env = std::getenv("WAVE_TRACE");
+    if (env == nullptr) return;
+    std::string spec(env);
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string category = spec.substr(start, comma - start);
+        if (!category.empty()) Enable(category);
+        start = comma + 1;
+    }
+}
+
+bool
+Trace::Enabled(const std::string& category)
+{
+    InitFromEnv();
+    const TraceState& state = State();
+    return state.all || State().enabled.count(category) > 0;
+}
+
+void
+Trace::Reset()
+{
+    State().enabled.clear();
+    State().all = false;
+    State().env_parsed = true;  // do not re-import the environment
+}
+
+void
+Trace::Emit(const Simulator* sim, const std::string& category,
+            const char* fmt, ...)
+{
+    ++State().emitted;
+    if (sim != nullptr) {
+        std::fprintf(stderr, "%12llu: %s: ",
+                     static_cast<unsigned long long>(sim->Now()),
+                     category.c_str());
+    } else {
+        std::fprintf(stderr, "           -: %s: ", category.c_str());
+    }
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+std::uint64_t
+Trace::EmittedCount()
+{
+    return State().emitted;
+}
+
+}  // namespace wave::sim

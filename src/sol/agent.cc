@@ -1,0 +1,152 @@
+#include "sol/agent.h"
+
+#include "sim/sync.h"
+
+namespace wave::sol {
+
+SolAgent::SolAgent(sim::Simulator& sim, memmgr::AddressSpace& space,
+                   SolDeployment deployment, SolConfig config,
+                   memmgr::MemCosts costs)
+    : SolAgent(sim, space, std::move(deployment),
+               std::make_unique<SolPolicy>(
+                   config, space.NumPages() / config.pages_per_batch),
+               costs)
+{
+}
+
+SolAgent::SolAgent(sim::Simulator& sim, memmgr::AddressSpace& space,
+                   SolDeployment deployment,
+                   std::unique_ptr<memmgr::MemPolicy> policy,
+                   memmgr::MemCosts costs)
+    : sim_(sim),
+      space_(space),
+      deployment_(std::move(deployment)),
+      pages_per_batch_(space.NumPages() / policy->NumBatches()),
+      costs_(costs),
+      policy_(std::move(policy)),
+      next_epoch_(policy_->EpochNs()),
+      xfer_src_(space.NumPages() / 8 + policy_->NumBatches() * 16 + 64),
+      xfer_dst_(space.NumPages() / 8 + policy_->NumBatches() * 16 + 64)
+{
+    WAVE_ASSERT(!deployment_.cpus.empty(), "agent needs worker CPUs");
+    harvested_.resize(policy_->NumBatches());
+    due_.resize(policy_->NumBatches());
+}
+
+sim::Task<>
+SolAgent::ScanShard(machine::Cpu* cpu, std::size_t first, std::size_t last,
+                    sim::TimeNs now, std::size_t* scanned)
+{
+    // The policy math runs for real; the compute time is charged as one
+    // aggregate Work per shard (events stay O(shards), not O(batches)).
+    std::size_t shard_scans = 0;
+    for (std::size_t batch = first; batch < last; ++batch) {
+        if (!due_[batch]) continue;
+        if (policy_->ScanBatch(batch, harvested_[batch], now)) {
+            ++shard_scans;
+        }
+    }
+    *scanned += shard_scans;
+    co_await cpu->Work(policy_->ScanComputePerBatchNs() *
+                       static_cast<sim::DurationNs>(shard_scans));
+}
+
+sim::Task<sim::DurationNs>
+SolAgent::RunIteration()
+{
+    const sim::TimeNs start = sim_.Now();
+    const sim::TimeNs now = start;
+    const std::size_t ppb = pages_per_batch_;
+
+    // --- 1. host kernel harvests access bits for due batches ---
+    std::size_t due_count = 0;
+    for (std::size_t batch = 0; batch < policy_->NumBatches(); ++batch) {
+        due_[batch] = policy_->Due(batch, now) ? 1 : 0;
+        if (!due_[batch]) continue;
+        ++due_count;
+        harvested_[batch] = static_cast<std::uint32_t>(
+            space_.HarvestAccessBits(batch * ppb, ppb));
+    }
+    // Harvest walk + amortized ranged TLB shootdowns, on the host.
+    co_await sim_.Delay(
+        costs_.harvest_per_page_ns * due_count * ppb +
+        costs_.tlb_flush_ns * (due_count / 64 + 1));
+
+    // --- 2. access bits reach the agent ---
+    if (deployment_.dma != nullptr && due_count > 0) {
+        // One bit per page of every due batch, DMA'd host -> NIC.
+        const std::size_t bytes = due_count * ppb / 8;
+        co_await deployment_.dma->Transfer(pcie::DmaInitiator::kNic,
+                                           xfer_src_, 0, xfer_dst_, 0,
+                                           bytes);
+    }
+
+    // --- 3. parallel shard scans on the worker CPUs ---
+    const std::size_t workers = deployment_.cpus.size();
+    const std::size_t per_shard =
+        (policy_->NumBatches() + workers - 1) / workers;
+    std::vector<std::size_t> scanned(workers, 0);
+    std::vector<sim::Task<>> shards;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t first = w * per_shard;
+        const std::size_t last =
+            std::min(policy_->NumBatches(), first + per_shard);
+        if (first >= last) break;
+        shards.push_back(ScanShard(deployment_.cpus[w], first, last, now,
+                                   &scanned[w]));
+    }
+    co_await sim::AwaitAll(sim_, std::move(shards));
+
+    std::size_t total_scanned = 0;
+    for (std::size_t s : scanned) total_scanned += s;
+    stats_.batches_scanned += total_scanned;
+
+    // --- 4. serial merge on the first worker CPU ---
+    co_await deployment_.cpus[0]->Work(
+        policy_->MergeComputePerBatchNs() *
+        static_cast<sim::DurationNs>(total_scanned));
+
+    // --- epoch migration ---
+    if (sim_.Now() >= next_epoch_) {
+        next_epoch_ += policy_->EpochNs();
+        ++stats_.epochs;
+        auto plan = policy_->EpochPlan();
+        std::size_t pages = plan.size() * ppb;
+        if (deployment_.dma != nullptr && !plan.empty()) {
+            // Migration decisions (batch id + tier) DMA'd NIC -> host.
+            co_await deployment_.dma->Transfer(pcie::DmaInitiator::kNic,
+                                               xfer_src_, 0, xfer_dst_, 0,
+                                               plan.size() * 16);
+        }
+        // The host applies the plan through the madvise path.
+        for (const auto& [batch, tier] : plan) {
+            for (std::size_t p = 0; p < ppb; ++p) {
+                space_.SetTier(batch * ppb + p, tier);
+            }
+        }
+        co_await sim_.Delay(costs_.migrate_per_page_ns * pages);
+        stats_.pages_migrated += pages;
+    }
+
+    const sim::DurationNs duration = sim_.Now() - start;
+    stats_.last_iteration_ns = duration;
+    stats_.iteration_ns.Record(duration);
+    ++stats_.iterations;
+    co_return duration;
+}
+
+sim::Task<>
+SolAgent::RunUntil(sim::TimeNs until)
+{
+    const sim::DurationNs min_period = policy_->MinScanPeriodNs();
+    while (sim_.Now() < until) {
+        const sim::TimeNs iter_start = sim_.Now();
+        co_await RunIteration();
+        const sim::TimeNs next = iter_start + min_period;
+        if (sim_.Now() < next) {
+            co_await sim_.Delay(next - sim_.Now());
+        }
+    }
+}
+
+}  // namespace wave::sol

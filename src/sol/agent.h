@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The SOL memory-management agent (§4.2, evaluated in §7.4).
+ *
+ * One agent manages one address space, parallelized across worker CPUs
+ * by sharding the batch range ("each memory agent thread manages an
+ * address space chunk", §6). An iteration:
+ *
+ *   1. The host kernel harvests access bits for due batches (serial,
+ *      on-host in both deployments — the mechanism stays on the host).
+ *   2. The harvested bits reach the agent: over DMA when offloaded
+ *      (the high-throughput, latency-tolerant transport of §4.2), at
+ *      memory cost when on-host.
+ *   3. Worker CPUs scan their shards in parallel: posterior updates +
+ *      Thompson sampling (the compute-heavy part that motivates
+ *      offload).
+ *   4. A serial merge integrates shard results; at epoch boundaries
+ *      the agent plans migrations and the host applies them through
+ *      the madvise path (decisions DMA'd back when offloaded).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/cpu.h"
+#include "memmgr/address_space.h"
+#include "memmgr/policy.h"
+#include "pcie/dma.h"
+#include "sim/simulator.h"
+#include "sol/policy.h"
+#include "stats/histogram.h"
+
+namespace wave::sol {
+
+/** Where the agent's compute runs. */
+struct SolDeployment {
+    /** Worker CPUs (host cores on-host, SmartNIC cores offloaded). */
+    std::vector<machine::Cpu*> cpus;
+
+    /** Non-null when offloaded: transfers cross PCIe via this engine. */
+    pcie::DmaEngine* dma = nullptr;
+};
+
+/** Per-iteration and cumulative agent statistics. */
+struct SolStats {
+    stats::Histogram iteration_ns;
+    std::uint64_t iterations = 0;
+    std::uint64_t batches_scanned = 0;
+    std::uint64_t pages_migrated = 0;
+    std::uint64_t epochs = 0;
+    sim::DurationNs last_iteration_ns = 0;
+};
+
+/** The SOL agent driving one address space. */
+class SolAgent {
+  public:
+    SolAgent(sim::Simulator& sim, memmgr::AddressSpace& space,
+             SolDeployment deployment, SolConfig config = {},
+             memmgr::MemCosts costs = {});
+
+    /**
+     * Drives an arbitrary memory policy (e.g. the LRU-CLOCK baseline)
+     * through the same agent loop — the §4.2 comparison axis.
+     */
+    SolAgent(sim::Simulator& sim, memmgr::AddressSpace& space,
+             SolDeployment deployment,
+             std::unique_ptr<memmgr::MemPolicy> policy,
+             memmgr::MemCosts costs = {});
+
+    /**
+     * Runs one scan iteration (and an epoch migration if due).
+     * Returns the iteration's duration in simulated ns.
+     */
+    sim::Task<sim::DurationNs> RunIteration();
+
+    /**
+     * Runs iterations back to back until @p until, pacing to at least
+     * the fastest scan period between starts.
+     */
+    sim::Task<> RunUntil(sim::TimeNs until);
+
+    const SolStats& Stats() const { return stats_; }
+    memmgr::MemPolicy& Policy() { return *policy_; }
+
+  private:
+    /** Scans the due batches in [first, last) on one worker CPU. */
+    sim::Task<> ScanShard(machine::Cpu* cpu, std::size_t first,
+                          std::size_t last, sim::TimeNs now,
+                          std::size_t* scanned);
+
+    sim::Simulator& sim_;
+    memmgr::AddressSpace& space_;
+    SolDeployment deployment_;
+    std::size_t pages_per_batch_;
+    memmgr::MemCosts costs_;
+    std::unique_ptr<memmgr::MemPolicy> policy_;
+    SolStats stats_;
+    sim::TimeNs next_epoch_;
+    // Scratch access counts harvested by the host, consumed by shards.
+    std::vector<std::uint32_t> harvested_;
+    std::vector<std::uint8_t> due_;
+    // Transfer staging for the offloaded deployment (bitmaps / plans).
+    pcie::MemoryRegion xfer_src_;
+    pcie::MemoryRegion xfer_dst_;
+};
+
+}  // namespace wave::sol

@@ -1,0 +1,122 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.h"
+
+namespace wave::stats {
+
+std::size_t
+Histogram::BucketIndex(std::uint64_t value)
+{
+    if (value < kSubBucketCount) {
+        return static_cast<std::size_t>(value);
+    }
+    // msb >= kSubBucketBits here. Values in [2^msb, 2^(msb+1)) map to
+    // kSubBucketCount buckets selected by the bits just below the msb.
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - kSubBucketBits;
+    const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
+    // Power-of-two "row": rows for msb == kSubBucketBits start right after
+    // the exact [0, kSubBucketCount) range.
+    const std::size_t row = static_cast<std::size_t>(msb - kSubBucketBits);
+    return kSubBucketCount + row * kSubBucketCount +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+Histogram::BucketRepresentative(std::size_t index)
+{
+    if (index < kSubBucketCount) {
+        return static_cast<std::uint64_t>(index);
+    }
+    const std::size_t rel = index - kSubBucketCount;
+    const std::size_t row = rel / kSubBucketCount;
+    const std::uint64_t sub = rel % kSubBucketCount;
+    const int msb = static_cast<int>(row) + kSubBucketBits;
+    const int shift = msb - kSubBucketBits;
+    const std::uint64_t lo = (1ull << msb) + (sub << shift);
+    const std::uint64_t width = 1ull << shift;
+    return lo + width / 2;  // bucket midpoint
+}
+
+void
+Histogram::Record(std::uint64_t value)
+{
+    RecordMany(value, 1);
+}
+
+void
+Histogram::RecordMany(std::uint64_t value, std::uint64_t n)
+{
+    if (n == 0) return;
+    const std::size_t index = BucketIndex(value);
+    if (index >= buckets_.size()) {
+        buckets_.resize(index + 1, 0);
+    }
+    buckets_[index] += n;
+    count_ += n;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+double
+Histogram::Mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t
+Histogram::Percentile(double q) const
+{
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample (1-based), ceil(q * count), at least 1.
+    const double target_f = q * static_cast<double>(count_);
+    std::uint64_t target =
+        static_cast<std::uint64_t>(target_f) +
+        ((target_f > static_cast<double>(static_cast<std::uint64_t>(
+                         target_f)))
+             ? 1
+             : 0);
+    target = std::max<std::uint64_t>(target, 1);
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            return BucketRepresentative(i);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::Merge(const Histogram& other)
+{
+    if (other.count_ == 0) return;
+    if (other.buckets_.size() > buckets_.size()) {
+        buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+void
+Histogram::Reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+    sum_ = 0;
+}
+
+}  // namespace wave::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HDR-histogram style).
+ *
+ * Records unsigned 64-bit values (nanoseconds, by convention) into
+ * buckets whose width grows with magnitude, giving ~3% relative error at
+ * any scale while using a few KiB of memory. This is what every workload
+ * driver uses to report p50/p99/p99.9 latencies in the reproduced
+ * figures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wave::stats {
+
+/** A fixed-precision logarithmic histogram of uint64 samples. */
+class Histogram {
+  public:
+    Histogram() = default;
+
+    /** Records one sample. */
+    void Record(std::uint64_t value);
+
+    /** Records @p count identical samples. */
+    void RecordMany(std::uint64_t value, std::uint64_t count);
+
+    /** Number of recorded samples. */
+    std::uint64_t Count() const { return count_; }
+
+    /** Smallest recorded sample (0 if empty). */
+    std::uint64_t Min() const { return count_ ? min_ : 0; }
+
+    /** Largest recorded sample (0 if empty). */
+    std::uint64_t Max() const { return max_; }
+
+    /** Arithmetic mean of recorded samples (0 if empty). */
+    double Mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]. Returns the representative value
+     * of the bucket containing the q-th sample; 0 if empty.
+     */
+    std::uint64_t Percentile(double q) const;
+
+    /** Merges another histogram's samples into this one. */
+    void Merge(const Histogram& other);
+
+    /** Discards all samples. */
+    void Reset();
+
+  private:
+    // 2^kSubBucketBits sub-buckets per power of two: ~3% relative error.
+    static constexpr int kSubBucketBits = 5;
+    static constexpr std::uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+
+    static std::size_t BucketIndex(std::uint64_t value);
+    static std::uint64_t BucketRepresentative(std::size_t index);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+    double sum_ = 0;
+};
+
+}  // namespace wave::stats

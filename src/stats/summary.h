@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Latency summary: the standard percentile set extracted from a
+ * histogram, with a compact formatter for logs and bench output.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace wave::stats {
+
+/** Snapshot of the usual latency percentiles. */
+struct Summary {
+    std::uint64_t count = 0;
+    double mean = 0;
+    std::uint64_t min = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+
+    /** Extracts the summary from a histogram. */
+    static Summary
+    From(const Histogram& histogram)
+    {
+        Summary s;
+        s.count = histogram.Count();
+        s.mean = histogram.Mean();
+        s.min = histogram.Min();
+        s.p50 = histogram.Percentile(0.50);
+        s.p90 = histogram.Percentile(0.90);
+        s.p99 = histogram.Percentile(0.99);
+        s.p999 = histogram.Percentile(0.999);
+        s.max = histogram.Max();
+        return s;
+    }
+
+    /** "n=1000 mean=12.1us p50=11us p99=31us max=110us". */
+    std::string
+    ToString() const
+    {
+        auto us = [](std::uint64_t ns) {
+            return Table::Fmt("%.1fus", static_cast<double>(ns) / 1e3);
+        };
+        return Table::Fmt("n=%llu mean=%.1fus p50=%s p90=%s p99=%s "
+                          "p99.9=%s max=%s",
+                          static_cast<unsigned long long>(count),
+                          mean / 1e3, us(p50).c_str(), us(p90).c_str(),
+                          us(p99).c_str(), us(p999).c_str(),
+                          us(max).c_str());
+    }
+};
+
+}  // namespace wave::stats

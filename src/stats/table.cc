@@ -1,0 +1,84 @@
+#include "stats/table.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace wave::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::AddRow(std::vector<std::string> cells)
+{
+    WAVE_ASSERT(cells.size() == headers_.size(),
+                "row width %zu != header width %zu", cells.size(),
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::ToString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string out;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += "| ";
+            out += row[c];
+            out += std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out += "|\n";
+        return out;
+    };
+
+    std::string out = render_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += "|" + std::string(widths[c] + 2, '-');
+    }
+    out += rule + "|\n";
+    for (const auto& row : rows_) {
+        out += render_row(row);
+    }
+    return out;
+}
+
+void
+Table::Print() const
+{
+    std::fputs(ToString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::Fmt(const char* fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+void
+PrintHeading(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::fflush(stdout);
+}
+
+}  // namespace wave::stats

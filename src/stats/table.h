@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table/series printing shared by the benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper; this
+ * printer renders aligned columns so the output reads like the paper's
+ * artifact (plus a `paper=` reference column where applicable).
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wave::stats {
+
+/** Column-aligned ASCII table builder. */
+class Table {
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; must have exactly as many cells as headers. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Renders the table with a header rule to a string. */
+    std::string ToString() const;
+
+    /** Prints the rendered table to stdout. */
+    void Print() const;
+
+    /** printf-style cell formatting helper. */
+    static std::string Fmt(const char* fmt, ...)
+        __attribute__((format(printf, 1, 2)));
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a section heading for a bench binary. */
+void PrintHeading(const std::string& title);
+
+}  // namespace wave::stats

@@ -1,0 +1,133 @@
+#include "wave/runtime.h"
+
+namespace wave {
+
+WaveRuntime::WaveRuntime(sim::Simulator& sim, machine::Machine& machine,
+                         const pcie::PcieConfig& pcie_config,
+                         const api::OptimizationConfig& opt,
+                         std::size_t nic_dram_bytes)
+    : sim_(sim),
+      machine_(machine),
+      pcie_config_(pcie_config),
+      opt_(opt),
+      dram_(std::make_unique<pcie::NicDram>(sim, pcie_config,
+                                            nic_dram_bytes)),
+      dma_(std::make_unique<pcie::DmaEngine>(sim, pcie_config))
+{
+}
+
+std::size_t
+WaveRuntime::AllocateDram(std::size_t bytes)
+{
+    // Line-align every allocation so queues never share cache lines.
+    const std::size_t aligned =
+        (bytes + pcie::PcieConfig::kLineSize - 1) /
+        pcie::PcieConfig::kLineSize * pcie::PcieConfig::kLineSize;
+    WAVE_ASSERT(dram_bump_ + aligned <= dram_->Backing().Size(),
+                "NIC DRAM window exhausted");
+    const std::size_t base = dram_bump_;
+    dram_bump_ += aligned;
+    return base;
+}
+
+HostToNicChannel
+WaveRuntime::CreateHostToNicQueue(const channel::QueueConfig& qc)
+{
+    HostToNicChannel chan;
+    const std::size_t base =
+        AllocateDram(channel::RingLayout(qc).BytesNeeded());
+    chan.storage = std::make_unique<channel::MmioQueue>(*dram_, base, qc);
+    const pcie::PteType write_type = opt_.host_wc_wt_ptes
+                                         ? pcie::PteType::kWriteCombining
+                                         : pcie::PteType::kUncacheable;
+    const pcie::PteType counter_read = opt_.host_wc_wt_ptes
+                                           ? pcie::PteType::kWriteThrough
+                                           : pcie::PteType::kUncacheable;
+    chan.host = std::make_unique<channel::HostProducer>(
+        *chan.storage, write_type, counter_read);
+    chan.nic = std::make_unique<channel::NicConsumer>(*chan.storage,
+                                                      NicPte());
+    return chan;
+}
+
+NicToHostChannel
+WaveRuntime::CreateNicToHostQueue(const channel::QueueConfig& qc)
+{
+    NicToHostChannel chan;
+    const std::size_t base =
+        AllocateDram(channel::RingLayout(qc).BytesNeeded());
+    chan.storage = std::make_unique<channel::MmioQueue>(*dram_, base, qc);
+    chan.nic = std::make_unique<channel::NicProducer>(*chan.storage,
+                                                      NicPte());
+    const pcie::PteType read_type = opt_.host_wc_wt_ptes
+                                        ? pcie::PteType::kWriteThrough
+                                        : pcie::PteType::kUncacheable;
+    const pcie::PteType counter_write = opt_.host_wc_wt_ptes
+                                            ? pcie::PteType::kWriteCombining
+                                            : pcie::PteType::kUncacheable;
+    chan.host = std::make_unique<channel::HostConsumer>(
+        *chan.storage, read_type, counter_write);
+    return chan;
+}
+
+std::unique_ptr<channel::DmaQueue>
+WaveRuntime::CreateDmaQueue(const channel::QueueConfig& qc,
+                            pcie::DmaInitiator initiator)
+{
+    // Producer/consumer local costs: NIC agents pay their local access
+    // cost; host DRAM access is folded into compute costs elsewhere.
+    const sim::DurationNs nic_local =
+        opt_.nic_wb_ptes ? pcie_config_.nic_wb_access_ns
+                         : pcie_config_.nic_uncached_access_ns;
+    const bool nic_is_producer = initiator == pcie::DmaInitiator::kNic;
+    return std::make_unique<channel::DmaQueue>(
+        sim_, *dma_, initiator, qc,
+        /*producer_local_ns=*/nic_is_producer ? nic_local : 0,
+        /*consumer_local_ns=*/nic_is_producer ? 0 : nic_local);
+}
+
+std::unique_ptr<pcie::MsiXVector>
+WaveRuntime::CreateMsiXVector()
+{
+    return std::make_unique<pcie::MsiXVector>(sim_, pcie_config_);
+}
+
+AgentId
+WaveRuntime::StartWaveAgent(std::shared_ptr<Agent> agent, int nic_core)
+{
+    AgentSlot slot;
+    slot.agent = std::move(agent);
+    slot.ctx = std::make_unique<AgentContext>(sim_,
+                                              machine_.NicCpu(nic_core));
+    slot.alive = true;
+    agents_.push_back(std::move(slot));
+    const AgentId id = agents_.size() - 1;
+    sim_.Spawn(RunAgent(id));
+    return id;
+}
+
+sim::Task<>
+WaveRuntime::RunAgent(AgentId id)
+{
+    // Hold shared ownership for the duration of the run so a kill +
+    // release by the caller cannot free the agent under its own loop.
+    std::shared_ptr<Agent> agent = agents_[id].agent;
+    co_await agent->Run(*agents_[id].ctx);
+    agents_[id].alive = false;
+}
+
+void
+WaveRuntime::KillWaveAgent(AgentId id)
+{
+    WAVE_ASSERT(id < agents_.size());
+    agents_[id].ctx->stop_ = true;
+}
+
+bool
+WaveRuntime::AgentAlive(AgentId id) const
+{
+    WAVE_ASSERT(id < agents_.size());
+    return agents_[id].alive;
+}
+
+}  // namespace wave

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The Wave runtime: queue lifecycle, agent lifecycle, NIC DRAM.
+ *
+ * One WaveRuntime instance per simulated machine. It owns the MMIO-
+ * exposed NIC DRAM window and the DMA engine, allocates queue storage
+ * (CREATE_QUEUE / DESTROY_QUEUE), builds host/NIC endpoint pairs with
+ * PTE types chosen from the active OptimizationConfig (SET_QUEUE_TYPE),
+ * allocates MSI-X vectors, and runs agents on SmartNIC cores
+ * (START_WAVE_AGENT / KILL_WAVE_AGENT).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/dma_queue.h"
+#include "channel/mmio_queue.h"
+#include "machine/machine.h"
+#include "pcie/dma.h"
+#include "pcie/mmio.h"
+#include "pcie/msix.h"
+#include "sim/simulator.h"
+#include "wave/api.h"
+
+namespace wave {
+
+/** A host->NIC MMIO message channel (SEND_MESSAGES / POLL_MESSAGES). */
+struct HostToNicChannel {
+    std::unique_ptr<channel::MmioQueue> storage;
+    std::unique_ptr<channel::HostProducer> host;
+    std::unique_ptr<channel::NicConsumer> nic;
+};
+
+/** A NIC->host MMIO decision channel (TXNS_COMMIT / POLL_TXNS). */
+struct NicToHostChannel {
+    std::unique_ptr<channel::MmioQueue> storage;
+    std::unique_ptr<channel::NicProducer> nic;
+    std::unique_ptr<channel::HostConsumer> host;
+};
+
+/** A userspace system-software agent running on a SmartNIC core. */
+class Agent {
+  public:
+    virtual ~Agent() = default;
+
+    /** Diagnostic name, e.g. "fifo-sched" or "sol-memmgr". */
+    virtual std::string Name() const = 0;
+
+    /**
+     * The agent main loop. Implementations must poll
+     * @p ctx->StopRequested() regularly and return when it is set —
+     * that is how KILL_WAVE_AGENT (and the watchdog) stop an agent.
+     */
+    virtual sim::Task<> Run(class AgentContext& ctx) = 0;
+};
+
+/** Execution context handed to a running agent. */
+class AgentContext {
+  public:
+    AgentContext(sim::Simulator& sim, machine::Cpu& cpu)
+        : sim_(sim), cpu_(cpu)
+    {
+    }
+
+    sim::Simulator& Sim() { return sim_; }
+
+    /** The SmartNIC core the agent runs on (for Work() costs). */
+    machine::Cpu& Cpu() { return cpu_; }
+
+    /** True once KILL_WAVE_AGENT was issued; the agent must return. */
+    bool StopRequested() const { return stop_; }
+
+  private:
+    friend class WaveRuntime;
+    sim::Simulator& sim_;
+    machine::Cpu& cpu_;
+    bool stop_ = false;
+};
+
+/** Handle returned by StartWaveAgent. */
+using AgentId = std::size_t;
+
+/** Per-machine Wave runtime. */
+class WaveRuntime {
+  public:
+    /**
+     * @param nic_dram_bytes size of the MMIO-exposed NIC DRAM window
+     *        used for queue storage.
+     */
+    WaveRuntime(sim::Simulator& sim, machine::Machine& machine,
+                const pcie::PcieConfig& pcie_config,
+                const api::OptimizationConfig& opt,
+                std::size_t nic_dram_bytes = 16u << 20);
+
+    // --- Queues (CREATE_QUEUE / SET_QUEUE_TYPE / DESTROY_QUEUE) ---
+
+    /** Creates a host->NIC MMIO message queue. */
+    HostToNicChannel CreateHostToNicQueue(const channel::QueueConfig& qc);
+
+    /** Creates a NIC->host MMIO decision queue. */
+    NicToHostChannel CreateNicToHostQueue(const channel::QueueConfig& qc);
+
+    /**
+     * Creates a DMA queue in the given direction (QueueBackend::kDmaSync
+     * / kDmaAsync is chosen per Send call on the returned queue).
+     */
+    std::unique_ptr<channel::DmaQueue> CreateDmaQueue(
+        const channel::QueueConfig& qc, pcie::DmaInitiator initiator);
+
+    /** Allocates an MSI-X vector targeting a host core. */
+    std::unique_ptr<pcie::MsiXVector> CreateMsiXVector();
+
+    // --- Agents (START_WAVE_AGENT / KILL_WAVE_AGENT) ---
+
+    /** Starts @p agent on NIC core @p nic_core; returns its id. */
+    AgentId StartWaveAgent(std::shared_ptr<Agent> agent, int nic_core);
+
+    /** Requests the agent stop; it exits at its next poll. */
+    void KillWaveAgent(AgentId id);
+
+    /** True while the agent's Run() has not returned. */
+    bool AgentAlive(AgentId id) const;
+
+    const api::OptimizationConfig& Opt() const { return opt_; }
+    pcie::NicDram& Dram() { return *dram_; }
+    pcie::DmaEngine& Dma() { return *dma_; }
+    machine::Machine& GetMachine() { return machine_; }
+    sim::Simulator& Sim() { return sim_; }
+    const pcie::PcieConfig& PcieCfg() const { return pcie_config_; }
+
+    /** PTE type NIC agents use for local queue access. */
+    pcie::PteType
+    NicPte() const
+    {
+        return opt_.nic_wb_ptes ? pcie::PteType::kWriteBack
+                                : pcie::PteType::kUncacheable;
+    }
+
+  private:
+    struct AgentSlot {
+        std::shared_ptr<Agent> agent;
+        std::unique_ptr<AgentContext> ctx;
+        bool alive = false;
+    };
+
+    sim::Task<> RunAgent(AgentId id);
+
+    std::size_t AllocateDram(std::size_t bytes);
+
+    sim::Simulator& sim_;
+    machine::Machine& machine_;
+    pcie::PcieConfig pcie_config_;
+    api::OptimizationConfig opt_;
+    std::unique_ptr<pcie::NicDram> dram_;
+    std::unique_ptr<pcie::DmaEngine> dma_;
+    std::size_t dram_bump_ = 0;
+    std::vector<AgentSlot> agents_;
+};
+
+}  // namespace wave

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Coherent shared-memory queue — the on-host baseline transport.
+ *
+ * ghOSt, Snap, and the other userspace resource-management systems in
+ * §2.3 communicate over cache-coherent shared memory. This queue models
+ * that path: entries move through host DRAM with cross-core cache-miss
+ * costs (tens of ns), not PCIe costs. The apples-to-apples experiments
+ * in §7 compare system software running over this queue (on-host)
+ * against the same software over Wave's PCIe queues (offloaded).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace wave {
+
+/** Cross-core shared-memory access costs. */
+struct ShmCosts {
+    /** Producer: write one entry + its flag (stores into own L1/L2). */
+    sim::DurationNs write_entry_ns = 30;
+
+    /** Consumer: read one entry across the LLC (typically a C2C miss). */
+    sim::DurationNs read_entry_ns = 45;
+
+    /** Consumer: poll an empty flag (also a coherence miss, often). */
+    sim::DurationNs empty_poll_ns = 25;
+};
+
+/** Bounded SPSC queue over coherent host shared memory. */
+class ShmQueue {
+  public:
+    ShmQueue(sim::Simulator& sim, std::size_t capacity,
+             ShmCosts costs = {})
+        : sim_(sim), capacity_(capacity), costs_(costs)
+    {
+    }
+
+    /** Enqueues a batch; returns how many fit. */
+    sim::Task<std::size_t>
+    Send(const std::vector<std::vector<std::byte>>& messages)
+    {
+        std::size_t sent = 0;
+        for (const auto& message : messages) {
+            if (items_.size() >= capacity_) break;
+            co_await sim_.Delay(costs_.write_entry_ns);
+            items_.push_back(message);
+            ++sent;
+        }
+        co_return sent;
+    }
+
+    /** Dequeues the next entry if present. */
+    sim::Task<std::optional<std::vector<std::byte>>>
+    Poll()
+    {
+        if (items_.empty()) {
+            co_await sim_.Delay(costs_.empty_poll_ns);
+            co_return std::nullopt;
+        }
+        co_await sim_.Delay(costs_.read_entry_ns);
+        auto out = std::move(items_.front());
+        items_.pop_front();
+        co_return out;
+    }
+
+    std::size_t Size() const { return items_.size(); }
+
+  private:
+    sim::Simulator& sim_;
+    std::size_t capacity_;
+    ShmCosts costs_;
+    std::deque<std::vector<std::byte>> items_;
+};
+
+}  // namespace wave

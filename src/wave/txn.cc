@@ -1,0 +1,135 @@
+#include "wave/txn.h"
+
+namespace wave {
+
+namespace {
+
+api::Bytes
+FrameDecision(api::TxnId id, const api::Bytes& payload,
+              std::size_t queue_payload_size)
+{
+    WAVE_ASSERT(TxnWire::kHeaderSize + payload.size() <=
+                    queue_payload_size,
+                "decision payload %zu too large for queue slot %zu",
+                payload.size(), queue_payload_size);
+    api::Bytes framed(queue_payload_size);
+    std::memcpy(framed.data(), &id, sizeof(id));
+    std::memcpy(framed.data() + TxnWire::kHeaderSize, payload.data(),
+                payload.size());
+    return framed;
+}
+
+}  // namespace
+
+NicTxnEndpoint::NicTxnEndpoint(channel::NicProducer& decisions,
+                               channel::NicConsumer& outcomes,
+                               pcie::MsiXVector* msix)
+    : decisions_(decisions), outcomes_(outcomes), msix_(msix)
+{
+}
+
+api::TxnId
+NicTxnEndpoint::TxnCreate(api::Bytes payload)
+{
+    const api::TxnId id = next_id_++;
+    // Frame now so TxnsCommit is a pure queue push. The queue's payload
+    // size comes from the storage the producer targets.
+    staged_.push_back(FrameDecision(
+        id, payload, decisions_.QueuePayloadSize()));
+    return id;
+}
+
+sim::Task<std::size_t>
+NicTxnEndpoint::TxnsCommit(bool send_msix)
+{
+    const std::size_t sent = co_await decisions_.SendBatch(staged_);
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<std::ptrdiff_t>(sent));
+    if (send_msix && sent > 0) {
+        WAVE_ASSERT(msix_ != nullptr,
+                    "TxnsCommit(send_msix) on an endpoint with no vector");
+        co_await msix_->Send();
+    }
+    co_return sent;
+}
+
+sim::Task<std::vector<api::TxnOutcome>>
+NicTxnEndpoint::PollTxnsOutcomes(std::size_t max)
+{
+    std::vector<api::TxnOutcome> out;
+    while (out.size() < max) {
+        auto record = co_await outcomes_.Poll();
+        if (!record) break;
+        api::TxnOutcome outcome;
+        std::memcpy(&outcome.txn_id, record->data(),
+                    sizeof(outcome.txn_id));
+        std::memcpy(&outcome.status, record->data() + sizeof(api::TxnId),
+                    sizeof(outcome.status));
+        out.push_back(outcome);
+    }
+    co_return out;
+}
+
+HostTxnEndpoint::HostTxnEndpoint(channel::HostConsumer& decisions,
+                                 channel::HostProducer& outcomes,
+                                 pcie::MsiXVector* msix)
+    : decisions_(decisions), outcomes_(outcomes), msix_(msix)
+{
+}
+
+sim::Task<std::optional<HostTxn>>
+HostTxnEndpoint::PollTxns(bool flush_first)
+{
+    auto slot = co_await decisions_.Poll(flush_first);
+    if (!slot) co_return std::nullopt;
+    HostTxn txn;
+    std::memcpy(&txn.id, slot->data(), sizeof(txn.id));
+    txn.payload.assign(slot->begin() + TxnWire::kHeaderSize, slot->end());
+    co_return txn;
+}
+
+sim::Task<>
+HostTxnEndpoint::PrefetchTxns()
+{
+    co_await decisions_.PrefetchNext();
+}
+
+sim::Task<>
+HostTxnEndpoint::FlushTxns()
+{
+    co_await decisions_.FlushNext();
+}
+
+sim::Task<>
+HostTxnEndpoint::SetTxnsOutcomes(const std::vector<api::TxnOutcome>& outs)
+{
+    std::vector<api::Bytes> records;
+    records.reserve(outs.size());
+    for (const api::TxnOutcome& outcome : outs) {
+        api::Bytes record(outcomes_.QueuePayloadSize());
+        std::memcpy(record.data(), &outcome.txn_id,
+                    sizeof(outcome.txn_id));
+        std::memcpy(record.data() + sizeof(api::TxnId), &outcome.status,
+                    sizeof(outcome.status));
+        records.push_back(std::move(record));
+    }
+    const std::size_t sent = co_await outcomes_.Send(records);
+    WAVE_ASSERT(sent == records.size(),
+                "outcome queue overflow: agent is not draining outcomes");
+}
+
+sim::Task<>
+HostTxnEndpoint::WaitForKick()
+{
+    WAVE_ASSERT(msix_ != nullptr);
+    co_await msix_->WaitAndReceive();
+}
+
+bool
+HostTxnEndpoint::ConsumeKick()
+{
+    WAVE_ASSERT(msix_ != nullptr);
+    return msix_->ConsumePending();
+}
+
+}  // namespace wave

@@ -1,0 +1,56 @@
+#include "wave/watchdog.h"
+
+#include "sim/trace.h"
+
+namespace wave {
+
+Watchdog::Watchdog(sim::Simulator& sim, sim::DurationNs timeout,
+                   sim::DurationNs check_interval,
+                   std::function<void()> on_expire)
+    : sim_(sim),
+      timeout_(timeout),
+      check_interval_(check_interval),
+      on_expire_(std::move(on_expire))
+{
+}
+
+void
+Watchdog::Arm()
+{
+    ++generation_;
+    armed_ = true;
+    expired_ = false;
+    last_decision_ = sim_.Now();
+    sim_.Spawn(Monitor());
+}
+
+void
+Watchdog::Disarm()
+{
+    ++generation_;
+    armed_ = false;
+}
+
+sim::Task<>
+Watchdog::Monitor()
+{
+    const std::uint64_t my_generation = generation_;
+    while (armed_ && generation_ == my_generation) {
+        co_await sim_.Delay(check_interval_);
+        if (!armed_ || generation_ != my_generation) {
+            co_return;  // disarmed or re-armed while we slept
+        }
+        if (sim_.Now() - last_decision_ > timeout_) {
+            expired_ = true;
+            armed_ = false;
+            WAVE_TRACE_EVENT(&sim_, "watchdog",
+                             "expired: no decision for %llu ns",
+                             static_cast<unsigned long long>(
+                                 sim_.Now() - last_decision_));
+            on_expire_();
+            co_return;
+        }
+    }
+}
+
+}  // namespace wave

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The busy_loop compute-characterization workload (§7.2.4).
+ *
+ * The paper uses an internal busy_loop utility — arithmetic plus
+ * syscalls in a tight loop — to measure VM compute performance under
+ * different schedulers. Here a BusyLoopBody accumulates the simulated
+ * time it actually ran; work output is that time multiplied by the
+ * core's turbo frequency (done by the Figure 5 bench, which owns the
+ * TurboModel). Timer ticks interrupt the loop, and the tick-handling
+ * time the kernel steals is exactly the overhead Figure 5's flat 1.7%
+ * component measures.
+ */
+#pragma once
+
+#include "ghost/thread.h"
+
+namespace wave::workload {
+
+/** A vCPU that never blocks: consumes all CPU it is given. */
+class BusyLoopBody : public ghost::ThreadBody {
+  public:
+    sim::Task<ghost::RunStop>
+    Run(ghost::RunContext& ctx) override
+    {
+        for (;;) {
+            const sim::DurationNs ran =
+                co_await ctx.interrupt.SleepInterruptible(kChunkNs);
+            busy_ns_ += ran;
+            if (ctx.interrupt.Pending()) {
+                // Tick or preemption: hand control to the kernel; it
+                // resumes us if the interrupt was only a tick.
+                co_return ghost::RunStop::kPreempted;
+            }
+        }
+    }
+
+    /** Total simulated time this vCPU actually executed. */
+    sim::DurationNs BusyNs() const { return busy_ns_; }
+
+    /** Snapshot helper for windowed measurements. */
+    sim::DurationNs
+    BusySince(sim::DurationNs snapshot) const
+    {
+        return busy_ns_ - snapshot;
+    }
+
+  private:
+    static constexpr sim::DurationNs kChunkNs = 100'000;  // 0.1 ms
+
+    sim::DurationNs busy_ns_ = 0;
+};
+
+/** A vCPU that is idle: blocks immediately whenever scheduled. */
+class IdleVcpuBody : public ghost::ThreadBody {
+  public:
+    sim::Task<ghost::RunStop>
+    Run(ghost::RunContext&) override
+    {
+        co_return ghost::RunStop::kBlocked;
+    }
+};
+
+}  // namespace wave::workload

@@ -1,0 +1,96 @@
+#include "workload/kv_service.h"
+
+namespace wave::workload {
+
+KvService::KvService(
+    sim::Simulator& sim, ghost::KernelSched& kernel, int num_workers,
+    ghost::Tid first_tid,
+    std::function<void(ghost::Tid, std::uint32_t)> on_assign)
+    : sim_(sim), kernel_(kernel), on_assign_(std::move(on_assign))
+{
+    for (int i = 0; i < num_workers; ++i) {
+        const ghost::Tid tid = first_tid + i;
+        auto body = std::make_shared<KvWorkerBody>(this, i);
+        workers_.push_back(body);
+        worker_tids_.push_back(tid);
+        kernel_.AddThread(tid, body);
+        idle_workers_.push_back(i);
+    }
+    // Freshly created threads are runnable; they will run once, find no
+    // request, and block — after which Submit() wakes them as needed.
+}
+
+void
+KvService::Assign(int worker_index, Request request)
+{
+    KvWorkerBody& worker = *workers_[static_cast<std::size_t>(worker_index)];
+    WAVE_ASSERT(!worker.assigned_.has_value(),
+                "double-assigning worker %d", worker_index);
+    worker.remaining_ = request.service_ns;
+    if (on_assign_) {
+        on_assign_(worker_tids_[static_cast<std::size_t>(worker_index)],
+                   request.slo_class);
+    }
+    worker.assigned_ = std::move(request);
+    kernel_.WakeThread(
+        worker_tids_[static_cast<std::size_t>(worker_index)]);
+}
+
+void
+KvService::Submit(Request request)
+{
+    if (idle_workers_.empty()) {
+        pending_.push_back(std::move(request));
+        return;
+    }
+    const int worker = idle_workers_.front();
+    idle_workers_.pop_front();
+    Assign(worker, std::move(request));
+}
+
+void
+KvService::OnWorkerDone(int worker_index, const Request& request)
+{
+    ++completed_;
+    if (completion_hook_) {
+        completion_hook_(request);
+    } else if (request.arrival >= window_start_ &&
+               request.arrival < window_end_) {
+        ++completed_in_window_;
+        latency_[static_cast<std::size_t>(request.kind)].Record(
+            sim_.Now() - request.arrival);
+    }
+    if (!pending_.empty()) {
+        Request next = std::move(pending_.front());
+        pending_.pop_front();
+        Assign(worker_index, std::move(next));
+    } else {
+        idle_workers_.push_back(worker_index);
+    }
+}
+
+sim::Task<ghost::RunStop>
+KvWorkerBody::Run(ghost::RunContext& ctx)
+{
+    if (!assigned_.has_value()) {
+        co_return ghost::RunStop::kBlocked;  // spurious wake: nothing to do
+    }
+    while (remaining_ > 0) {
+        const sim::DurationNs ran =
+            co_await ctx.interrupt.SleepInterruptible(remaining_);
+        remaining_ -= std::min(ran, remaining_);
+        if (remaining_ > 0) {
+            // An interrupt arrived mid-request; the kernel decides
+            // whether it carries a real preemption.
+            co_return ghost::RunStop::kPreempted;
+        }
+    }
+    const Request done = *assigned_;
+    assigned_.reset();
+    // OnWorkerDone may assign the next request and wake us; that wake
+    // lands as wake_pending because we are still 'running'.
+    service_->OnWorkerDone(index_, done);
+    co_return ghost::RunStop::kBlocked;
+}
+
+}  // namespace wave::workload

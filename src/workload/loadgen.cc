@@ -1,0 +1,34 @@
+#include "workload/loadgen.h"
+
+namespace wave::workload {
+
+sim::Task<>
+RunLoadGenerator(sim::Simulator& sim, KvService& service,
+                 LoadGenConfig config)
+{
+    sim::Rng rng(config.seed);
+    const double mean_gap_ns = 1e9 / config.rate_rps;
+    std::uint64_t next_id = 1;
+
+    while (sim.Now() < config.end_time) {
+        const double gap = rng.NextExponential(mean_gap_ns);
+        co_await sim.Delay(static_cast<sim::DurationNs>(gap));
+        if (sim.Now() >= config.end_time) break;
+
+        Request request;
+        request.id = next_id++;
+        request.arrival = sim.Now();
+        if (rng.NextBernoulli(config.get_fraction)) {
+            request.kind = RequestKind::kGet;
+            request.slo_class = config.get_slo;
+            request.service_ns = config.get_service_ns;
+        } else {
+            request.kind = RequestKind::kRange;
+            request.slo_class = config.range_slo;
+            request.service_ns = config.range_service_ns;
+        }
+        service.Submit(std::move(request));
+    }
+}
+
+}  // namespace wave::workload

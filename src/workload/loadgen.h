@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Open-loop Poisson load generator.
+ *
+ * Generates KV requests at a configured offered rate with exponential
+ * inter-arrivals, mixing GETs and RANGEs per the experiment (§7.2:
+ * 100% 10 µs GETs for FIFO; 99.5% GET + 0.5% 10 ms RANGE for
+ * Shinjuku). Open loop: arrivals do not slow down when the system
+ * backs up, so tail latency explodes past saturation, producing the
+ * throughput-latency curves of Figures 4 and 6.
+ */
+#pragma once
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "workload/kv_service.h"
+#include "workload/request.h"
+
+namespace wave::workload {
+
+/** Load-generation parameters. */
+struct LoadGenConfig {
+    /** Offered load in requests per second. */
+    double rate_rps = 100'000;
+
+    /** Fraction of requests that are GETs (the rest are RANGEs). */
+    double get_fraction = 1.0;
+
+    sim::DurationNs get_service_ns = 10'000;         ///< 10 us
+    sim::DurationNs range_service_ns = 10'000'000;   ///< 10 ms
+
+    /** GETs are the strict SLO class for multi-queue Shinjuku. */
+    std::uint32_t get_slo = 0;
+    std::uint32_t range_slo = 1;
+
+    /** Generation stops at this simulated time. */
+    sim::TimeNs end_time = 0;
+
+    std::uint64_t seed = 1;
+};
+
+/** Runs the generator as a simulation process. */
+sim::Task<> RunLoadGenerator(sim::Simulator& sim, KvService& service,
+                             LoadGenConfig config);
+
+}  // namespace wave::workload

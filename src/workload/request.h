@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Request model for the key-value workloads.
+ *
+ * The paper drives RocksDB with 10 µs GET requests and, for the
+ * Shinjuku experiments, a 99.5/0.5 mix of 10 µs GETs and 10 ms RANGE
+ * queries. Requests carry an SLO class for the multi-queue Shinjuku
+ * policy (§7.3.2): GETs are class 0 (strict), RANGEs class 1.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace wave::workload {
+
+/** Request kinds in the paper's KV workloads. */
+enum class RequestKind : std::uint32_t {
+    kGet = 0,
+    kRange = 1,
+};
+
+/** One KV request. */
+struct Request {
+    std::uint64_t id = 0;
+    RequestKind kind = RequestKind::kGet;
+    std::uint32_t slo_class = 0;
+    sim::TimeNs arrival = 0;
+    sim::DurationNs service_ns = 0;
+};
+
+}  // namespace wave::workload

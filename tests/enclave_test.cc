@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for scheduling enclaves (§6) and the CFS-lite baseline policy:
+ * partition isolation, watchdog-driven agent restart with state
+ * re-pull, multi-enclave coexistence, and CFS fairness invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "ghost/enclave.h"
+#include "ghost/kernel.h"
+#include "ghost/transport.h"
+#include "machine/machine.h"
+#include "sched/cfs_lite.h"
+#include "sched/fifo.h"
+#include "sched/vm_policy.h"
+#include "workload/busy_loop.h"
+#include "sim/simulator.h"
+#include "wave/runtime.h"
+
+namespace wave::ghost {
+namespace {
+
+using namespace sim::time_literals;
+using sim::Simulator;
+using sim::Task;
+
+/** Worker that yields after fixed work, counting completions. */
+class YieldingWorker : public ThreadBody {
+  public:
+    YieldingWorker(sim::DurationNs work, int& completions)
+        : work_(work), completions_(completions)
+    {
+    }
+
+    Task<RunStop>
+    Run(RunContext& ctx) override
+    {
+        sim::DurationNs remaining = work_;
+        while (remaining > 0) {
+            const auto ran =
+                co_await ctx.interrupt.SleepInterruptible(remaining);
+            remaining -= std::min(ran, remaining);
+            if (remaining > 0) co_return RunStop::kPreempted;
+        }
+        ++completions_;
+        co_return RunStop::kYielded;
+    }
+
+  private:
+    sim::DurationNs work_;
+    int& completions_;
+};
+
+struct EnclaveWorld {
+    EnclaveWorld()
+        : machine(sim),
+          runtime(sim, machine, pcie::PcieConfig{},
+                  api::OptimizationConfig::Full())
+    {
+    }
+
+    EnclaveConfig
+    MakeConfig(std::vector<int> cores, int nic_core)
+    {
+        EnclaveConfig config;
+        config.cores = std::move(cores);
+        config.nic_core = nic_core;
+        config.policy_factory = [] {
+            return std::make_shared<sched::FifoPolicy>();
+        };
+        return config;
+    }
+
+    Simulator sim;
+    machine::Machine machine;
+    WaveRuntime runtime;
+};
+
+TEST(Enclave, TwoEnclavesScheduleIndependently)
+{
+    EnclaveWorld world;
+    Enclave left(world.runtime, world.MakeConfig({0, 1}, 0));
+    Enclave right(world.runtime, world.MakeConfig({2, 3}, 1));
+
+    int left_done = 0;
+    int right_done = 0;
+    for (Tid tid = 1; tid <= 4; ++tid) {
+        left.AddThread(tid,
+                       std::make_shared<YieldingWorker>(5_us, left_done));
+        right.AddThread(100 + tid, std::make_shared<YieldingWorker>(
+                                       5_us, right_done));
+    }
+    left.Start();
+    right.Start();
+    world.sim.RunFor(2_ms);
+
+    EXPECT_GT(left_done, 100) << "left enclave must make progress";
+    EXPECT_GT(right_done, 100) << "right enclave must make progress";
+    EXPECT_TRUE(left.AgentAlive());
+    EXPECT_TRUE(right.AgentAlive());
+}
+
+TEST(Enclave, WatchdogRestartsWedgedAgentAndReannouncesThreads)
+{
+    EnclaveWorld world;
+    Enclave enclave(world.runtime, world.MakeConfig({0, 1}, 0));
+
+    int completions = 0;
+    for (Tid tid = 1; tid <= 6; ++tid) {
+        enclave.AddThread(
+            tid, std::make_shared<YieldingWorker>(10_us, completions));
+    }
+    enclave.Start();
+    ASSERT_EQ(enclave.Generation(), 1);
+    world.sim.RunFor(5_ms);
+    const int before = completions;
+    EXPECT_GT(before, 0);
+
+    // Wedge generation 1 behind the watchdog's back.
+    world.runtime.KillWaveAgent(0);
+    world.sim.RunFor(40_ms);  // > 20 ms watchdog timeout
+
+    EXPECT_GE(enclave.Generation(), 2) << "watchdog must have restarted";
+    EXPECT_TRUE(enclave.AgentAlive());
+    world.sim.RunFor(10_ms);
+    EXPECT_GT(completions, before)
+        << "replacement agent must schedule the re-announced threads";
+}
+
+TEST(Enclave, OtherEnclaveUnaffectedByNeighborRestart)
+{
+    EnclaveWorld world;
+    Enclave left(world.runtime, world.MakeConfig({0, 1}, 0));
+    Enclave right(world.runtime, world.MakeConfig({2, 3}, 1));
+
+    int left_done = 0;
+    int right_done = 0;
+    for (Tid tid = 1; tid <= 4; ++tid) {
+        left.AddThread(tid,
+                       std::make_shared<YieldingWorker>(10_us, left_done));
+        right.AddThread(100 + tid, std::make_shared<YieldingWorker>(
+                                       10_us, right_done));
+    }
+    left.Start();
+    right.Start();
+    world.sim.RunFor(2_ms);
+
+    world.runtime.KillWaveAgent(0);  // wedge the left agent
+    world.sim.RunFor(40_ms);
+
+    EXPECT_GE(left.Generation(), 2);
+    EXPECT_EQ(right.Generation(), 1)
+        << "the right enclave must not be restarted";
+    EXPECT_TRUE(right.AgentAlive());
+    EXPECT_GT(right_done, 1000)
+        << "the right enclave never stopped scheduling";
+}
+
+}  // namespace
+}  // namespace wave::ghost
+
+namespace wave::sched {
+namespace {
+
+using ghost::GhostMessage;
+using ghost::MsgType;
+using ghost::Tid;
+
+GhostMessage
+Msg(MsgType type, Tid tid, std::uint64_t at = 0)
+{
+    GhostMessage m{};
+    m.type = type;
+    m.tid = tid;
+    m.core = 0;
+    m.payload = at;  // event timestamp, used for vruntime charging
+    return m;
+}
+
+TEST(CfsLite, PicksLowestVruntimeFirst)
+{
+    CfsLitePolicy policy;
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
+
+    // Thread 1 runs 2 ms then yields; thread 2 has lower vruntime now.
+    auto d = policy.PickNext(0, 0);
+    ASSERT_TRUE(d.has_value());
+    ASSERT_EQ(d->tid, 1);
+    policy.OnMessage(Msg(MsgType::kThreadYield, 1, 2'000'000));
+    EXPECT_EQ(policy.PickNext(0, 2'000'000)->tid, 2);
+}
+
+TEST(CfsLite, SliceShrinksWithLoad)
+{
+    CfsLitePolicy policy(/*sched_latency=*/6'000'000,
+                         /*min_granularity=*/750'000);
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    EXPECT_EQ(policy.CurrentSlice(), 6'000'000u);
+    for (Tid tid = 2; tid <= 4; ++tid) {
+        policy.OnMessage(Msg(MsgType::kThreadCreated, tid));
+    }
+    EXPECT_EQ(policy.CurrentSlice(), 1'500'000u);
+    for (Tid tid = 5; tid <= 20; ++tid) {
+        policy.OnMessage(Msg(MsgType::kThreadCreated, tid));
+    }
+    EXPECT_EQ(policy.CurrentSlice(), 750'000u) << "min granularity floor";
+}
+
+TEST(CfsLite, HeavierThreadsAgeSlower)
+{
+    CfsLitePolicy policy;
+    policy.SetWeight(1, 2048);  // double weight
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
+
+    // Both run 2 ms each.
+    auto first = policy.PickNext(0, 0);
+    ASSERT_TRUE(first.has_value());
+    policy.OnMessage(Msg(MsgType::kThreadYield, first->tid, 2'000'000));
+    auto second = policy.PickNext(0, 2'000'000);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(second->tid, first->tid);
+    policy.OnMessage(Msg(MsgType::kThreadYield, second->tid, 4'000'000));
+
+    EXPECT_LT(policy.Vruntime(1), policy.Vruntime(2))
+        << "the weighted thread accrues vruntime at half rate";
+}
+
+TEST(CfsLite, PreemptsOnlyPastTheFairSlice)
+{
+    CfsLitePolicy policy(6'000'000, 750'000);
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    ASSERT_TRUE(policy.PickNext(0, 0).has_value());
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
+    // One waiter: slice = 6 ms.
+    EXPECT_FALSE(policy.ShouldPreempt(0, 1, 3'000'000));
+    EXPECT_TRUE(policy.ShouldPreempt(0, 1, 7'000'000));
+}
+
+TEST(CfsLite, FairnessOverManyRounds)
+{
+    // Two equal threads alternating must split CPU ~evenly.
+    CfsLitePolicy policy;
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
+
+    std::uint64_t ran[3] = {0, 0, 0};
+    std::uint64_t now = 0;
+    for (int round = 0; round < 100; ++round) {
+        auto d = policy.PickNext(0, now);
+        ASSERT_TRUE(d.has_value());
+        // Uneven bursts: tid 1 runs 3 ms at a time, tid 2 runs 1 ms.
+        const std::uint64_t burst =
+            d->tid == 1 ? 3'000'000 : 1'000'000;
+        now += burst;
+        ran[d->tid] += burst;
+        policy.OnMessage(Msg(MsgType::kThreadYield, d->tid, now));
+    }
+    const double ratio = static_cast<double>(ran[1]) /
+                         static_cast<double>(ran[2]);
+    EXPECT_NEAR(ratio, 1.0, 0.15)
+        << "equal-weight threads must receive ~equal CPU";
+}
+
+TEST(CfsLite, DeadThreadsLeaveTheQueue)
+{
+    CfsLitePolicy policy;
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
+    policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
+    policy.OnMessage(Msg(MsgType::kThreadDead, 1));
+    auto d = policy.PickNext(0, 0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->tid, 2);
+    EXPECT_FALSE(policy.PickNext(0, 0).has_value());
+}
+
+}  // namespace
+}  // namespace wave::sched
+
+namespace wave::ghost {
+namespace {
+
+/** Busy body that tracks its accumulated run time. */
+class MeteredBusyBody : public ThreadBody {
+  public:
+    Task<RunStop>
+    Run(RunContext& ctx) override
+    {
+        for (;;) {
+            const auto ran =
+                co_await ctx.interrupt.SleepInterruptible(500'000);
+            ran_ns_ += ran;
+            if (ctx.interrupt.Pending()) co_return RunStop::kPreempted;
+        }
+    }
+
+    sim::DurationNs RanNs() const { return ran_ns_; }
+
+  private:
+    sim::DurationNs ran_ns_ = 0;
+};
+
+TEST(CfsLiteEndToEnd, TwoBusyThreadsShareACoreFairly)
+{
+    // Full stack: CFS-lite inside a Wave agent, preempting via MSI-X at
+    // its fair slice, must split one core ~50/50 between two hogs.
+    EnclaveWorld world;
+    EnclaveConfig config;
+    config.cores = {0};
+    config.nic_core = 0;
+    config.watchdog_timeout_ns = 0;  // irrelevant here
+    config.policy_factory = [] {
+        return std::make_shared<sched::CfsLitePolicy>(
+            /*sched_latency=*/2'000'000, /*min_granularity=*/500'000);
+    };
+    Enclave enclave(world.runtime, config);
+
+    auto a = std::make_shared<MeteredBusyBody>();
+    auto b = std::make_shared<MeteredBusyBody>();
+    enclave.AddThread(1, a);
+    enclave.AddThread(2, b);
+    enclave.Start();
+    world.sim.RunFor(100'000'000);  // 100 ms
+
+    const double total =
+        static_cast<double>(a->RanNs() + b->RanNs());
+    EXPECT_GT(total, 80'000'000.0) << "the core must be mostly busy";
+    const double share_a = static_cast<double>(a->RanNs()) / total;
+    EXPECT_NEAR(share_a, 0.5, 0.1)
+        << "equal-weight threads split the core evenly";
+    EXPECT_GT(enclave.Kernel().Stats().preemptions, 20u)
+        << "sharing happens through slice preemptions";
+}
+
+}  // namespace
+}  // namespace wave::ghost
+
+namespace wave::ghost {
+namespace {
+
+using wave::workload::BusyLoopBody;
+using wave::workload::IdleVcpuBody;
+
+/** Mini Figure 5: ticks steal cycles from a busy vCPU. */
+TEST(VmScheduling, TicklessVcpuGetsMoreCycles)
+{
+    auto run = [](bool ticks) {
+        sim::Simulator sim;
+        machine::Machine machine(sim);
+        WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
+                            api::OptimizationConfig::Full());
+        WaveSchedTransport transport(runtime, 4);
+        KernelOptions options;
+        options.timer_ticks = ticks;
+        KernelSched kernel(sim, machine, transport, GhostCosts{},
+                           options);
+        auto policy = std::make_shared<sched::VmPolicy>();
+        AgentConfig cfg;
+        cfg.cores = {0, 1, 2, 3};
+        cfg.prestage = false;
+        auto agent =
+            std::make_shared<GhostAgent>(transport, policy, cfg);
+        runtime.StartWaveAgent(agent, 0);
+
+        auto busy = std::make_shared<BusyLoopBody>();
+        policy->PinVcpu(1, 0);
+        kernel.AddThread(1, busy);
+        for (Tid tid = 2; tid <= 4; ++tid) {
+            policy->PinVcpu(tid, tid - 1);
+            kernel.AddThread(tid, std::make_shared<IdleVcpuBody>());
+        }
+        kernel.Start({0, 1, 2, 3});
+        sim.RunFor(50'000'000);  // 50 ms
+        return std::pair{busy->BusyNs(),
+                         kernel.Stats().ticks_handled};
+    };
+
+    const auto [ticked_ns, ticks_handled] = run(true);
+    const auto [tickless_ns, no_ticks_handled] = run(false);
+    EXPECT_GT(ticks_handled, 100u) << "4 cores x 50 ticks each";
+    EXPECT_EQ(no_ticks_handled, 0u);
+    EXPECT_GT(tickless_ns, ticked_ns)
+        << "tick handling must visibly steal vCPU cycles";
+    // The loss should be in the ~1-2% ballpark (12.6 us per 1 ms).
+    const double loss = 1.0 - static_cast<double>(ticked_ns) /
+                                  static_cast<double>(tickless_ns);
+    EXPECT_NEAR(loss, 0.0126, 0.008);
+}
+
+}  // namespace
+}  // namespace wave::ghost

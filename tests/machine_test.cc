@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the machine model: CPU work scaling, clock domains,
+ * topology, and the turbo-frequency curves behind Figure 5.
+ */
+#include <gtest/gtest.h>
+
+#include "machine/cpu.h"
+#include "machine/machine.h"
+#include "machine/turbo.h"
+#include "sim/simulator.h"
+
+namespace wave::machine {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+
+TEST(Cpu, WorkAtReferenceSpeedTakesNominalTime)
+{
+    Simulator sim;
+    ClockDomain domain(1.0);
+    Cpu cpu(sim, "host0", &domain);
+
+    sim.Spawn([](Simulator& s, Cpu& c) -> Task<> {
+        co_await c.Work(1000);
+        EXPECT_EQ(s.Now(), 1000u);
+    }(sim, cpu));
+    sim.Run();
+    EXPECT_EQ(cpu.BusyNs(), 1000u);
+}
+
+TEST(Cpu, SlowerDomainStretchesWork)
+{
+    Simulator sim;
+    ClockDomain domain(0.5);
+    Cpu cpu(sim, "nic0", &domain);
+
+    sim.Spawn([](Simulator& s, Cpu& c) -> Task<> {
+        co_await c.Work(1000);
+        EXPECT_EQ(s.Now(), 2000u);
+    }(sim, cpu));
+    sim.Run();
+}
+
+TEST(Cpu, DomainSpeedChangeAffectsSubsequentWork)
+{
+    Simulator sim;
+    ClockDomain domain(1.0);
+    Cpu cpu(sim, "host0", &domain);
+
+    sim.Spawn([](Simulator& s, Cpu& c) -> Task<> {
+        co_await c.Work(100);
+        c.Domain().SetSpeed(2.0);  // e.g. turbo kicks in
+        const auto t0 = s.Now();
+        co_await c.Work(100);
+        EXPECT_EQ(s.Now() - t0, 50u);
+    }(sim, cpu));
+    sim.Run();
+}
+
+TEST(Machine, BuildsPaperTopology)
+{
+    Simulator sim;
+    MachineConfig config;
+    Machine machine(sim, config);
+    EXPECT_EQ(machine.HostCoreCount(), 16);
+    EXPECT_EQ(machine.NicCoreCount(), 16);
+    EXPECT_EQ(machine.CcxOf(0), 0);
+    EXPECT_EQ(machine.CcxOf(7), 0);
+    EXPECT_EQ(machine.CcxOf(8), 1);
+    EXPECT_EQ(machine.HostCpu(3).Name(), "host3");
+    EXPECT_EQ(machine.NicCpu(15).Name(), "nic15");
+}
+
+TEST(Machine, NicCoresAreSlowerThanHostCores)
+{
+    Simulator sim;
+    Machine machine(sim);
+    EXPECT_LT(machine.NicDomain().Speed(), machine.HostDomain().Speed());
+}
+
+TEST(Turbo, FewActiveCoresGetMaxBoostWhenIdleCoresSleepDeep)
+{
+    TurboModel turbo;
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(1, /*idle_cores_deep=*/true), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), 3.50);
+}
+
+TEST(Turbo, ShallowIdleLimitsBoost)
+{
+    TurboModel turbo;
+    EXPECT_LT(turbo.FrequencyGhz(1, /*idle_cores_deep=*/false),
+              turbo.FrequencyGhz(1, /*idle_cores_deep=*/true));
+}
+
+TEST(Turbo, FullyLoadedSocketConvergesRegardlessOfIdleState)
+{
+    TurboModel turbo;
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(64, true),
+                     turbo.FrequencyGhz(64, false));
+}
+
+TEST(Turbo, FrequencyIsMonotonicallyNonIncreasingInActiveCores)
+{
+    TurboModel turbo;
+    for (bool deep : {true, false}) {
+        double prev = 1e9;
+        for (int active = 1; active <= 64; ++active) {
+            const double f = turbo.FrequencyGhz(active, deep);
+            EXPECT_LE(f, prev) << "active=" << active << " deep=" << deep;
+            prev = f;
+        }
+    }
+}
+
+TEST(Turbo, NeverBelowBaseFrequency)
+{
+    TurboModel turbo;
+    for (int active = 1; active <= 128; ++active) {
+        EXPECT_GE(turbo.FrequencyGhz(active, true), 2.45);
+        EXPECT_GE(turbo.FrequencyGhz(active, false), 2.45);
+    }
+}
+
+// Property sweep: the deep-idle advantage must shrink as more cores
+// become active (the turbo budget is consumed by real work).
+class TurboGapTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TurboGapTest, DeepIdleAdvantageShrinksWithLoad)
+{
+    const auto [fewer, more] = GetParam();
+    TurboModel turbo;
+    const double gap_fewer = turbo.FrequencyGhz(fewer, true) /
+                             turbo.FrequencyGhz(fewer, false);
+    const double gap_more =
+        turbo.FrequencyGhz(more, true) / turbo.FrequencyGhz(more, false);
+    EXPECT_GE(gap_fewer, gap_more - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, TurboGapTest,
+                         ::testing::Values(std::pair{1, 16},
+                                           std::pair{8, 32},
+                                           std::pair{16, 48},
+                                           std::pair{32, 64},
+                                           std::pair{1, 64}));
+
+}  // namespace
+}  // namespace wave::machine
+
+namespace wave::machine {
+namespace {
+
+TEST(CpuDeath, DoubleWorkOnOneCoreIsABug)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            sim::Simulator sim;
+            ClockDomain domain(1.0);
+            Cpu cpu(sim, "host0", &domain);
+            // Two concurrent activities on one hardware thread: the
+            // model forbids it loudly rather than double-booking time.
+            sim.Spawn([](Cpu& c) -> sim::Task<> {
+                co_await c.Work(1000);
+            }(cpu));
+            sim.Spawn([](Cpu& c) -> sim::Task<> {
+                co_await c.Work(1000);
+            }(cpu));
+            sim.Run();
+        },
+        "already busy");
+}
+
+}  // namespace
+}  // namespace wave::machine

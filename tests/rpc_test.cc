@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the RPC stack and the §7.3 experiment harness: protocol
+ * processing costs, pipeline integrity (no lost requests), scenario
+ * placement effects, and SLO-aware steering.
+ */
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "rpc/rpc_experiment.h"
+#include "rpc/rpc_stack.h"
+#include "sim/simulator.h"
+
+namespace wave::rpc {
+namespace {
+
+using sim::Simulator;
+using workload::Request;
+using namespace sim::time_literals;
+
+TEST(RpcStack, ProcessesIncomingWithProtocolCost)
+{
+    Simulator sim;
+    machine::ClockDomain domain(1.0);
+    machine::Cpu cpu(sim, "rpc0", &domain);
+    RpcStack stack(sim, {&cpu});
+    stack.Start();
+
+    Request request;
+    request.id = 1;
+    bool delivered = false;
+    sim::TimeNs delivered_at = 0;
+    stack.ProcessIncoming(request, [&](Request r) {
+        EXPECT_EQ(r.id, 1u);
+        delivered = true;
+        delivered_at = sim.Now();
+    });
+    sim.RunFor(100_us);
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(delivered_at, RpcCosts{}.request_process_ns);
+}
+
+TEST(RpcStack, ResponsePathCostsLess)
+{
+    Simulator sim;
+    machine::ClockDomain domain(1.0);
+    machine::Cpu cpu(sim, "rpc0", &domain);
+    RpcStack stack(sim, {&cpu});
+    stack.Start();
+
+    bool sent = false;
+    sim::TimeNs sent_at = 0;
+    stack.ProcessResponse(Request{}, [&](Request) {
+        sent = true;
+        sent_at = sim.Now();
+    });
+    sim.RunFor(100_us);
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(sent_at, RpcCosts{}.response_process_ns);
+}
+
+TEST(RpcStack, NicCoresProcessSlower)
+{
+    Simulator sim;
+    machine::Machine machine(sim);
+    RpcStack host_stack(sim, {&machine.HostCpu(0)});
+    RpcStack nic_stack(sim, {&machine.NicCpu(0)});
+    host_stack.Start();
+    nic_stack.Start();
+
+    sim::TimeNs host_done = 0;
+    sim::TimeNs nic_done = 0;
+    host_stack.ProcessIncoming(Request{}, [&](Request) {
+        host_done = sim.Now();
+    });
+    nic_stack.ProcessIncoming(Request{}, [&](Request) {
+        nic_done = sim.Now();
+    });
+    sim.RunFor(1_ms);
+    EXPECT_GT(nic_done, host_done) << "ARM cores are slower per RPC";
+}
+
+class ScenarioTest : public ::testing::TestWithParam<RpcScenario> {};
+
+TEST_P(ScenarioTest, PipelineCompletesAllRequestsAtLightLoad)
+{
+    RpcExperimentConfig cfg;
+    cfg.scenario = GetParam();
+    cfg.rocksdb_cores = 8;
+    cfg.num_workers = 32;
+    cfg.offered_rps = 30'000;
+    cfg.get_fraction = 1.0;  // GETs only for a deterministic check
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 100_ms;
+    auto r = RunRpcExperiment(cfg);
+    EXPECT_NEAR(r.achieved_rps, 30'000, 2'000)
+        << "no requests may be lost in the pipeline";
+    EXPECT_LT(r.get_p50, 40'000u);
+}
+
+TEST_P(ScenarioTest, MixedWorkloadPreempts)
+{
+    RpcExperimentConfig cfg;
+    cfg.scenario = GetParam();
+    cfg.rocksdb_cores = 8;
+    cfg.num_workers = 48;
+    cfg.offered_rps = 60'000;
+    cfg.warmup_ns = 20_ms;
+    cfg.measure_ns = 150_ms;
+    auto r = RunRpcExperiment(cfg);
+    EXPECT_GT(r.preemptions, 100u)
+        << "RANGEs must be preempted at the 30 us slice";
+    // GET tail stays bounded because of preemption.
+    EXPECT_LT(r.get_p99, 2'000'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ScenarioTest,
+    ::testing::Values(RpcScenario::kOnHostAll,
+                      RpcScenario::kOnHostScheduler,
+                      RpcScenario::kOffloadAll),
+    [](const ::testing::TestParamInfo<RpcScenario>& info) {
+        switch (info.param) {
+          case RpcScenario::kOnHostAll: return "OnHostAll";
+          case RpcScenario::kOnHostScheduler: return "OnHostScheduler";
+          default: return "OffloadAll";
+        }
+    });
+
+TEST(RpcScenarios, OnHostSchedulerSaturatesLowest)
+{
+    // The defining Figure 6 shape: splitting the RPC stack from the
+    // scheduler across PCIe caps throughput well below the other two.
+    auto run_at = [](RpcScenario scenario, double rps) {
+        RpcExperimentConfig cfg;
+        cfg.scenario = scenario;
+        cfg.rocksdb_cores = scenario == RpcScenario::kOffloadAll ? 16 : 15;
+        cfg.offered_rps = rps;
+        cfg.warmup_ns = 30_ms;
+        cfg.measure_ns = 120_ms;
+        return RunRpcExperiment(cfg);
+    };
+    const double rps = 170'000;
+    const auto onhost_all = run_at(RpcScenario::kOnHostAll, rps);
+    const auto onhost_sched = run_at(RpcScenario::kOnHostScheduler, rps);
+    const auto offload_all = run_at(RpcScenario::kOffloadAll, rps);
+
+    EXPECT_NEAR(onhost_all.achieved_rps, rps, rps * 0.05);
+    EXPECT_NEAR(offload_all.achieved_rps, rps, rps * 0.05);
+    EXPECT_LT(onhost_sched.achieved_rps, rps * 0.85)
+        << "per-RPC MMIO header reads must cap the on-host scheduler";
+}
+
+TEST(RpcScenarios, SloAwareSteeringImprovesGetTail)
+{
+    // §7.3.2: with the scheduler co-located on the NIC, multi-queue
+    // Shinjuku isolates GETs from RANGEs.
+    RpcExperimentConfig cfg;
+    cfg.scenario = RpcScenario::kOffloadAll;
+    cfg.rocksdb_cores = 16;
+    cfg.offered_rps = 200'000;
+    cfg.warmup_ns = 30_ms;
+    cfg.measure_ns = 150_ms;
+
+    RpcExperimentConfig mq = cfg;
+    mq.multi_queue = true;
+    const auto single = RunRpcExperiment(cfg);
+    const auto multi = RunRpcExperiment(mq);
+    EXPECT_LE(multi.get_p99, single.get_p99 * 1.1)
+        << "SLO awareness must not hurt GET tails near saturation";
+}
+
+TEST(RpcScenarios, CoherentInterconnectShrinksTheGap)
+{
+    // §7.3.3: a UPI-attached "SmartNIC" narrows offload's penalty.
+    auto saturated_p99 = [](const pcie::PcieConfig& pcie,
+                            double nic_speed) {
+        RpcExperimentConfig cfg;
+        cfg.scenario = RpcScenario::kOffloadAll;
+        cfg.rocksdb_cores = 15;
+        cfg.pcie = pcie;
+        cfg.nic_speed = nic_speed;
+        cfg.offered_rps = 180'000;
+        cfg.warmup_ns = 30_ms;
+        cfg.measure_ns = 120_ms;
+        return RunRpcExperiment(cfg).get_p99;
+    };
+    const auto pcie_p99 = saturated_p99(pcie::PcieConfig{}, 0.61);
+    const auto upi_p99 =
+        saturated_p99(pcie::PcieConfig::Upi(), 3.0 / 3.5);
+    EXPECT_LE(upi_p99, pcie_p99)
+        << "UPI + faster cores must not be worse than PCIe";
+}
+
+}  // namespace
+}  // namespace wave::rpc

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel: event ordering,
+ * coroutine tasks, synchronization primitives, and RNG distributions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace wave::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.Now(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.Schedule(30, [&] { order.push_back(3); });
+    sim.Schedule(10, [&] { order.push_back(1); });
+    sim.Schedule(20, [&] { order.push_back(2); });
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(Simulator, EqualTimestampsRunInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.Schedule(5, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    std::vector<int> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.Schedule(1, [&] {
+        ++fired;
+        sim.Schedule(1, [&] { ++fired; });
+    });
+    sim.Run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.Now(), 2u);
+}
+
+TEST(Simulator, RunForAdvancesClockExactly)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.Schedule(100, [&] { ran = true; });
+    sim.Schedule(5000, [&] { FAIL() << "should not run"; });
+    EXPECT_EQ(sim.RunFor(1000), 1000u);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.Now(), 1000u);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents)
+{
+    Simulator sim;
+    bool boundary = false;
+    sim.Schedule(100, [&] { boundary = true; });
+    sim.RunUntil(100);
+    EXPECT_TRUE(boundary);
+}
+
+TEST(Simulator, StopHaltsRun)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.Schedule(i, [&] {
+            ++count;
+            if (count == 3) sim.Stop();
+        });
+    }
+    sim.Run();
+    EXPECT_EQ(count, 3);
+}
+
+Task<>
+DelayProcess(Simulator& sim, std::vector<TimeNs>& stamps)
+{
+    stamps.push_back(sim.Now());
+    co_await sim.Delay(10_us);
+    stamps.push_back(sim.Now());
+    co_await sim.Delay(5_us);
+    stamps.push_back(sim.Now());
+}
+
+TEST(Coroutines, DelayAdvancesTime)
+{
+    Simulator sim;
+    std::vector<TimeNs> stamps;
+    sim.Spawn(DelayProcess(sim, stamps));
+    sim.Run();
+    ASSERT_EQ(stamps.size(), 3u);
+    EXPECT_EQ(stamps[0], 0u);
+    EXPECT_EQ(stamps[1], 10'000u);
+    EXPECT_EQ(stamps[2], 15'000u);
+}
+
+Task<int>
+Compute(Simulator& sim, int x)
+{
+    co_await sim.Delay(100);
+    co_return x * 2;
+}
+
+Task<>
+NestedProcess(Simulator& sim, int& out)
+{
+    out = co_await Compute(sim, 21);
+}
+
+TEST(Coroutines, NestedTasksComposeAndReturnValues)
+{
+    Simulator sim;
+    int out = 0;
+    sim.Spawn(NestedProcess(sim, out));
+    sim.Run();
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(sim.Now(), 100u);
+}
+
+Task<>
+DeepChain(Simulator& sim, int depth, int& leaf_count)
+{
+    if (depth == 0) {
+        ++leaf_count;
+        co_return;
+    }
+    co_await DeepChain(sim, depth - 1, leaf_count);
+}
+
+TEST(Coroutines, DeepTaskChainsDoNotOverflowStack)
+{
+    Simulator sim;
+    int leaves = 0;
+    sim.Spawn(DeepChain(sim, 100'000, leaves));
+    sim.Run();
+    EXPECT_EQ(leaves, 1);
+}
+
+Task<>
+InfiniteLoop(Simulator& sim, int& iterations)
+{
+    for (;;) {
+        co_await sim.Delay(1_ms);
+        ++iterations;
+    }
+}
+
+TEST(Coroutines, InfiniteProcessesAreDestroyedAtTeardown)
+{
+    int iterations = 0;
+    {
+        Simulator sim;
+        sim.Spawn(InfiniteLoop(sim, iterations));
+        sim.RunFor(10_ms);
+    }
+    // 10 iterations ran; the suspended frame was torn down without leaking
+    // (verified under ASan in CI-style runs) and without crashing here.
+    EXPECT_EQ(iterations, 10);
+}
+
+TEST(Sync, SignalWakesWaitersInFifoOrder)
+{
+    Simulator sim;
+    Signal signal(sim);
+    std::vector<int> order;
+
+    auto waiter = [](Simulator&, Signal& s, std::vector<int>& ord,
+                     int id) -> Task<> {
+        co_await s.Wait();
+        ord.push_back(id);
+    };
+    for (int i = 0; i < 3; ++i) {
+        sim.Spawn(waiter(sim, signal, order, i));
+    }
+    sim.RunFor(1);
+    EXPECT_EQ(signal.WaiterCount(), 3u);
+    signal.NotifyAll();
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Sync, NotifyOneWakesExactlyOne)
+{
+    Simulator sim;
+    Signal signal(sim);
+    int woken = 0;
+    auto waiter = [](Signal& s, int& w) -> Task<> {
+        co_await s.Wait();
+        ++w;
+    };
+    sim.Spawn(waiter(signal, woken));
+    sim.Spawn(waiter(signal, woken));
+    sim.RunFor(1);
+    signal.NotifyOne();
+    sim.Run();
+    EXPECT_EQ(woken, 1);
+}
+
+TEST(Sync, ChannelDeliversInFifoOrder)
+{
+    Simulator sim;
+    Channel<int> chan(sim);
+    std::vector<int> received;
+
+    auto consumer = [](Channel<int>& c, std::vector<int>& out) -> Task<> {
+        for (int i = 0; i < 3; ++i) {
+            out.push_back(co_await c.Receive());
+        }
+    };
+    sim.Spawn(consumer(chan, received));
+    sim.RunFor(1);
+    chan.Push(1);
+    chan.Push(2);
+    chan.Push(3);
+    sim.Run();
+    EXPECT_EQ(received, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sync, ChannelReceiveBeforePushSuspends)
+{
+    Simulator sim;
+    Channel<int> chan(sim);
+    int got = 0;
+    auto consumer = [](Simulator& s, Channel<int>& c, int& out) -> Task<> {
+        out = co_await c.Receive();
+        EXPECT_EQ(s.Now(), 500u);
+    };
+    sim.Spawn(consumer(sim, chan, got));
+    sim.Schedule(500, [&] { chan.Push(7); });
+    sim.Run();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(Sync, ChannelTryReceive)
+{
+    Simulator sim;
+    Channel<int> chan(sim);
+    EXPECT_FALSE(chan.TryReceive().has_value());
+    chan.Push(9);
+    auto v = chan.TryReceive();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+    EXPECT_TRUE(chan.Empty());
+}
+
+TEST(Sync, ResourceLimitsConcurrency)
+{
+    Simulator sim;
+    Resource res(sim, 2);
+    int peak = 0;
+    int active = 0;
+
+    auto user = [](Simulator& s, Resource& r, int& act, int& pk) -> Task<> {
+        co_await r.Acquire();
+        ++act;
+        pk = std::max(pk, act);
+        co_await s.Delay(100);
+        --act;
+        r.Release();
+    };
+    for (int i = 0; i < 6; ++i) {
+        sim.Spawn(user(sim, res, active, peak));
+    }
+    sim.Run();
+    EXPECT_EQ(peak, 2);
+    EXPECT_EQ(active, 0);
+    // 6 users, 2 at a time, 100 ns each -> 3 rounds.
+    EXPECT_EQ(sim.Now(), 300u);
+}
+
+TEST(Sync, AwaitAllJoinsConcurrentTasks)
+{
+    Simulator sim;
+    int done = 0;
+    auto work = [](Simulator& s, DurationNs d, int& dn) -> Task<> {
+        co_await s.Delay(d);
+        ++dn;
+    };
+    auto parent = [](Simulator& s, int& dn,
+                     decltype(work)& w) -> Task<> {
+        std::vector<Task<>> tasks;
+        tasks.push_back(w(s, 100, dn));
+        tasks.push_back(w(s, 300, dn));
+        tasks.push_back(w(s, 200, dn));
+        co_await AwaitAll(s, std::move(tasks));
+        EXPECT_EQ(dn, 3);
+        // Concurrent, not sequential: ends at max, not sum.
+        EXPECT_EQ(s.Now(), 300u);
+    };
+    sim.Spawn(parent(sim, done, work));
+    sim.Run();
+    EXPECT_EQ(done, 3);
+}
+
+TEST(Rng, IsDeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.Next(), b.Next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.Next() == b.Next()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double v = rng.NextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextBoundedRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_LT(rng.NextBounded(17), 17u);
+    }
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng rng(123);
+    double sum = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.NextExponential(10.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(Rng, GaussianMomentsConverge)
+{
+    Rng rng(321);
+    double sum = 0;
+    double sum_sq = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.NextGaussian();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+// Property sweep: Beta(a, b) mean must converge to a / (a + b).
+class BetaMeanTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BetaMeanTest, MeanMatchesAnalytic)
+{
+    const auto [alpha, beta] = GetParam();
+    Rng rng(55);
+    double sum = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.NextBeta(alpha, beta);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, alpha / (alpha + beta), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BetaMeanTest,
+    ::testing::Values(std::pair{1.0, 1.0}, std::pair{2.0, 5.0},
+                      std::pair{5.0, 2.0}, std::pair{0.5, 0.5},
+                      std::pair{10.0, 1.0}, std::pair{0.3, 2.0}));
+
+// Property sweep: Zipf rank-0 probability matches 1 / H_{n,theta}.
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, HeadProbabilityMatchesAnalytic)
+{
+    const double theta = GetParam();
+    const std::size_t n = 1000;
+    ZipfDistribution zipf(n, theta);
+    Rng rng(77);
+    double harmonic = 0;
+    for (std::size_t r = 1; r <= n; ++r) {
+        harmonic += 1.0 / std::pow(static_cast<double>(r), theta);
+    }
+    const double expected_head = 1.0 / harmonic;
+
+    int head_hits = 0;
+    const int samples = 200'000;
+    for (int i = 0; i < samples; ++i) {
+        const std::size_t rank = zipf.Sample(rng);
+        ASSERT_LT(rank, n);
+        if (rank == 0) ++head_hits;
+    }
+    EXPECT_NEAR(static_cast<double>(head_hits) / samples, expected_head,
+                0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.2));
+
+TEST(Zipf, ZeroThetaIsUniform)
+{
+    ZipfDistribution zipf(10, 0.0);
+    Rng rng(99);
+    std::vector<int> counts(10, 0);
+    const int samples = 100'000;
+    for (int i = 0; i < samples; ++i) {
+        ++counts[zipf.Sample(rng)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / samples, 0.1, 0.01);
+    }
+}
+
+}  // namespace
+}  // namespace wave::sim
+
+namespace wave::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+  protected:
+    void SetUp() override { Trace::Reset(); }
+    void TearDown() override { Trace::Reset(); }
+};
+
+TEST_F(TraceTest, CategoriesAreOffByDefault)
+{
+    EXPECT_FALSE(Trace::Enabled("queue"));
+}
+
+TEST_F(TraceTest, EnableDisableRoundTrip)
+{
+    Trace::Enable("queue");
+    EXPECT_TRUE(Trace::Enabled("queue"));
+    EXPECT_FALSE(Trace::Enabled("ghost"));
+    Trace::Disable("queue");
+    EXPECT_FALSE(Trace::Enabled("queue"));
+}
+
+TEST_F(TraceTest, AllEnablesEverything)
+{
+    Trace::Enable("all");
+    EXPECT_TRUE(Trace::Enabled("anything"));
+    Trace::Disable("all");
+    EXPECT_FALSE(Trace::Enabled("anything"));
+}
+
+TEST_F(TraceTest, MacroShortCircuitsWhenDisabled)
+{
+    const auto before = Trace::EmittedCount();
+    WAVE_TRACE_EVENT(nullptr, "off-category", "should not emit %d", 1);
+    EXPECT_EQ(Trace::EmittedCount(), before);
+
+    Trace::Enable("on-category");
+    WAVE_TRACE_EVENT(nullptr, "on-category", "emits %d", 1);
+    EXPECT_EQ(Trace::EmittedCount(), before + 1);
+}
+
+TEST_F(TraceTest, EmitsWithSimulatedTimestamp)
+{
+    Trace::Enable("t");
+    Simulator sim;
+    sim.Schedule(123, [&] {
+        WAVE_TRACE_EVENT(&sim, "t", "at 123");
+    });
+    const auto before = Trace::EmittedCount();
+    sim.Run();
+    EXPECT_EQ(Trace::EmittedCount(), before + 1);
+}
+
+}  // namespace
+}  // namespace wave::sim

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the memory-management substrate and the SOL policy:
+ * address-space bookkeeping, access-bit harvest semantics, Thompson-
+ * sampling scan scheduling, epoch classification, parallel agent
+ * scaling (Amdahl behaviour), and hot/cold convergence.
+ */
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "memmgr/address_space.h"
+#include "sim/simulator.h"
+#include "sol/agent.h"
+#include "sol/policy.h"
+
+namespace wave::sol {
+namespace {
+
+using memmgr::AddressSpace;
+using memmgr::Tier;
+using sim::Simulator;
+using sim::Task;
+
+TEST(AddressSpace, TouchSetsAccessBit)
+{
+    AddressSpace space(128);
+    EXPECT_FALSE(space.Accessed(5));
+    space.Touch(5);
+    EXPECT_TRUE(space.Accessed(5));
+}
+
+TEST(AddressSpace, HarvestCountsAndClears)
+{
+    AddressSpace space(128);
+    space.Touch(0);
+    space.Touch(3);
+    space.Touch(63);
+    space.Touch(64);  // outside the first batch
+    EXPECT_EQ(space.HarvestAccessBits(0, 64), 3u);
+    EXPECT_FALSE(space.Accessed(0));
+    EXPECT_TRUE(space.Accessed(64));
+    EXPECT_EQ(space.HarvestAccessBits(0, 64), 0u) << "bits were cleared";
+}
+
+TEST(AddressSpace, HarvestExportsBitmap)
+{
+    AddressSpace space(64);
+    space.Touch(1);
+    std::vector<std::uint8_t> bitmap;
+    space.HarvestAccessBits(0, 64, &bitmap);
+    ASSERT_EQ(bitmap.size(), 64u);
+    EXPECT_EQ(bitmap[0], 0);
+    EXPECT_EQ(bitmap[1], 1);
+}
+
+TEST(AddressSpace, TierAccountingTracksMigrations)
+{
+    AddressSpace space(100);
+    EXPECT_EQ(space.FastTierPages(), 100u);
+    for (std::size_t p = 0; p < 30; ++p) {
+        space.SetTier(p, Tier::kSlow);
+    }
+    EXPECT_EQ(space.FastTierPages(), 70u);
+    EXPECT_EQ(space.FastTierBytes(), 70u * memmgr::kPageSize);
+    EXPECT_EQ(space.TierOf(10), Tier::kSlow);
+    EXPECT_EQ(space.TierOf(50), Tier::kFast);
+}
+
+TEST(AddressSpace, SlowTierTouchesAreCounted)
+{
+    AddressSpace space(10);
+    space.SetTier(0, Tier::kSlow);
+    space.Touch(0);
+    space.Touch(1);
+    EXPECT_EQ(space.SlowTierTouches(), 1u);
+    EXPECT_EQ(space.Touches(), 2u);
+}
+
+TEST(SolPolicy, ScanRespectsDueTimes)
+{
+    SolConfig config;
+    SolPolicy policy(config, 4);
+    EXPECT_TRUE(policy.Due(0, 0));
+    EXPECT_TRUE(policy.ScanBatch(0, 5, 0));
+    EXPECT_FALSE(policy.Due(0, 1'000'000)) << "rescheduled into future";
+    EXPECT_FALSE(policy.ScanBatch(0, 5, 1'000'000));
+    // Due again after at most the slowest period.
+    EXPECT_TRUE(policy.Due(0, config.scan_periods.back()));
+}
+
+TEST(SolPolicy, HotBatchesConvergeToFastScans)
+{
+    SolConfig config;
+    SolPolicy policy(config, 1);
+    sim::TimeNs now = 0;
+    // Always accessed: posterior mean -> 1, so Thompson samples should
+    // pick the fastest period almost always once converged.
+    for (int scan = 0; scan < 40; ++scan) {
+        policy.ScanBatch(0, 64, now);
+        now += config.scan_periods.back();  // ensure due
+    }
+    EXPECT_GT(policy.HotnessMean(0), 0.9);
+    EXPECT_EQ(policy.Batch(0).period_index, 0u);
+}
+
+TEST(SolPolicy, ColdBatchesConvergeToSlowScans)
+{
+    SolConfig config;
+    SolPolicy policy(config, 1);
+    sim::TimeNs now = 0;
+    for (int scan = 0; scan < 40; ++scan) {
+        policy.ScanBatch(0, 0, now);
+        now += config.scan_periods.back();
+    }
+    EXPECT_LT(policy.HotnessMean(0), 0.1);
+    EXPECT_EQ(policy.Batch(0).period_index,
+              config.scan_periods.size() - 1);
+}
+
+TEST(SolPolicy, EpochPlanMovesColdBatchesOut)
+{
+    SolConfig config;
+    SolPolicy policy(config, 10);
+    sim::TimeNs now = 0;
+    for (int scan = 0; scan < 20; ++scan) {
+        for (std::size_t b = 0; b < 10; ++b) {
+            // Batches 0-1 hot, the rest cold.
+            policy.ScanBatch(b, b < 2 ? 64 : 0, now);
+        }
+        now += config.scan_periods.back();
+    }
+    auto plan = policy.EpochPlan();
+    std::size_t to_slow = 0;
+    for (const auto& [batch, tier] : plan) {
+        EXPECT_GE(batch, 2u) << "hot batch must stay fast";
+        EXPECT_EQ(tier, Tier::kSlow);
+        ++to_slow;
+    }
+    EXPECT_EQ(to_slow, 8u);
+    // Second epoch with no change: empty plan (idempotent).
+    EXPECT_TRUE(policy.EpochPlan().empty());
+}
+
+TEST(SolPolicy, ReheatedBatchReturnsToFastTier)
+{
+    SolConfig config;
+    SolPolicy policy(config, 1);
+    sim::TimeNs now = 0;
+    for (int scan = 0; scan < 20; ++scan) {
+        policy.ScanBatch(0, 0, now);
+        now += config.scan_periods.back();
+    }
+    ASSERT_EQ(policy.EpochPlan().size(), 1u);  // went cold
+    for (int scan = 0; scan < 60; ++scan) {
+        policy.ScanBatch(0, 64, now);
+        now += config.scan_periods.back();
+    }
+    auto plan = policy.EpochPlan();
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].second, Tier::kFast);
+}
+
+struct AgentFixture {
+    explicit AgentFixture(std::size_t pages, int cpus, bool offloaded)
+        : machine(sim), space(pages)
+    {
+        SolDeployment deployment;
+        for (int i = 0; i < cpus; ++i) {
+            deployment.cpus.push_back(offloaded ? &machine.NicCpu(i)
+                                                : &machine.HostCpu(i));
+        }
+        if (offloaded) {
+            dma = std::make_unique<pcie::DmaEngine>(sim,
+                                                    pcie::PcieConfig{});
+            deployment.dma = dma.get();
+        }
+        agent = std::make_unique<SolAgent>(sim, space, deployment);
+    }
+
+    Simulator sim;
+    machine::Machine machine;
+    AddressSpace space;
+    std::unique_ptr<pcie::DmaEngine> dma;
+    std::unique_ptr<SolAgent> agent;
+};
+
+sim::DurationNs
+RunOneIteration(AgentFixture& f)
+{
+    sim::DurationNs duration = 0;
+    f.sim.Spawn([](AgentFixture& fx, sim::DurationNs& d) -> Task<> {
+        d = co_await fx.agent->RunIteration();
+    }(f, duration));
+    f.sim.Run();
+    return duration;
+}
+
+TEST(SolAgent, IterationScansEverythingInitially)
+{
+    AgentFixture f(64 * 256, 2, /*offloaded=*/false);
+    RunOneIteration(f);
+    EXPECT_EQ(f.agent->Stats().batches_scanned, 256u);
+}
+
+TEST(SolAgent, MoreCoresShortenIterationsSublinearly)
+{
+    // Amdahl: 1 -> 4 cores must speed up, but by less than 4x (the
+    // merge and harvest are serial).
+    const std::size_t pages = 64 * 4096;
+    AgentFixture one(pages, 1, false);
+    AgentFixture four(pages, 4, false);
+    const auto d1 = RunOneIteration(one);
+    const auto d4 = RunOneIteration(four);
+    EXPECT_LT(d4, d1);
+    EXPECT_GT(d4 * 4, d1) << "speedup must be sublinear";
+}
+
+TEST(SolAgent, OffloadedIterationIsSlowerButSavesHostCores)
+{
+    const std::size_t pages = 64 * 4096;
+    AgentFixture onhost(pages, 4, false);
+    AgentFixture wave(pages, 4, true);
+    const auto host_d = RunOneIteration(onhost);
+    const auto wave_d = RunOneIteration(wave);
+    EXPECT_GT(wave_d, host_d) << "ARM cores are slower";
+    EXPECT_LT(wave_d, 3 * host_d) << "but not catastrophically";
+}
+
+TEST(SolAgent, ConvergesToHotSetFootprint)
+{
+    // 25% of the address space is hot; after an epoch the fast tier
+    // should hold roughly the hot set.
+    const std::size_t pages = 64 * 512;
+    AgentFixture f(pages, 2, false);
+
+    // Touch the hot quarter repeatedly while iterating past one epoch.
+    f.sim.Spawn([](AgentFixture& fx, std::size_t n_pages) -> Task<> {
+        for (;;) {
+            for (std::size_t p = 0; p < n_pages / 4; ++p) {
+                fx.space.Touch(p);
+            }
+            co_await fx.sim.Delay(200'000'000);  // every 200 ms
+        }
+    }(f, pages));
+    f.sim.Spawn([](AgentFixture& fx) -> Task<> {
+        co_await fx.agent->RunUntil(40'000'000'000ull);  // past 38.4 s
+    }(f));
+    f.sim.RunUntil(40'000'000'000ull);
+
+    EXPECT_GE(f.agent->Stats().epochs, 1u);
+    const double fast_fraction =
+        static_cast<double>(f.space.FastTierPages()) /
+        static_cast<double>(pages);
+    EXPECT_NEAR(fast_fraction, 0.25, 0.08)
+        << "fast tier should shrink to ~the hot set";
+}
+
+TEST(SolAgent, LaterIterationsScanLessThanTheFirst)
+{
+    AgentFixture f(64 * 1024, 2, false);
+    // No touches at all: everything goes cold and scan periods stretch.
+    f.sim.Spawn([](AgentFixture& fx) -> Task<> {
+        co_await fx.agent->RunUntil(20'000'000'000ull);
+    }(f));
+    f.sim.RunUntil(20'000'000'000ull);
+    const auto& stats = f.agent->Stats();
+    ASSERT_GT(stats.iterations, 5u);
+    // If every iteration re-scanned everything we would see
+    // iterations * 1024 scans; learned schedules scan far less.
+    EXPECT_LT(stats.batches_scanned, stats.iterations * 1024 / 2);
+}
+
+}  // namespace
+}  // namespace wave::sol

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the histogram and table utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace wave::stats {
+namespace {
+
+TEST(Histogram, EmptyHistogramIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.Count(), 0u);
+    EXPECT_EQ(h.Min(), 0u);
+    EXPECT_EQ(h.Max(), 0u);
+    EXPECT_EQ(h.Mean(), 0.0);
+    EXPECT_EQ(h.Percentile(0.99), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        h.Record(v);
+    }
+    EXPECT_EQ(h.Count(), 32u);
+    EXPECT_EQ(h.Min(), 0u);
+    EXPECT_EQ(h.Max(), 31u);
+    EXPECT_EQ(h.Percentile(0.0), 0u);
+    EXPECT_EQ(h.Percentile(1.0), 31u);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h;
+    h.Record(10);
+    h.Record(20);
+    h.Record(30);
+    EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesHaveBoundedRelativeError)
+{
+    Histogram h;
+    // Uniform ramp 1..100000.
+    for (std::uint64_t v = 1; v <= 100'000; ++v) {
+        h.Record(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double expected = q * 100'000;
+        const double got = static_cast<double>(h.Percentile(q));
+        EXPECT_NEAR(got, expected, expected * 0.04)
+            << "quantile " << q;
+    }
+}
+
+TEST(Histogram, RecordManyEquivalentToRepeatedRecord)
+{
+    Histogram a;
+    Histogram b;
+    a.RecordMany(500, 10);
+    for (int i = 0; i < 10; ++i) b.Record(500);
+    EXPECT_EQ(a.Count(), b.Count());
+    EXPECT_EQ(a.Percentile(0.5), b.Percentile(0.5));
+    EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(Histogram, MergeCombinesSamples)
+{
+    Histogram a;
+    Histogram b;
+    a.Record(100);
+    b.Record(200);
+    b.Record(300);
+    a.Merge(b);
+    EXPECT_EQ(a.Count(), 3u);
+    EXPECT_EQ(a.Min(), 100u);
+    EXPECT_EQ(a.Max(), 300u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.Record(42);
+    h.Reset();
+    EXPECT_EQ(h.Count(), 0u);
+    h.Record(7);
+    EXPECT_EQ(h.Count(), 1u);
+    EXPECT_EQ(h.Max(), 7u);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow)
+{
+    Histogram h;
+    h.Record(1ull << 62);
+    h.Record((1ull << 62) + 12345);
+    EXPECT_EQ(h.Count(), 2u);
+    const double rep = static_cast<double>(h.Percentile(0.5));
+    const double expected = static_cast<double>(1ull << 62);
+    EXPECT_NEAR(rep / expected, 1.0, 0.05);
+}
+
+// Property sweep: representative value of the bucket containing v must be
+// within the bucket's relative-error bound for magnitudes across the range.
+class HistogramAccuracyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, RepresentativeWithinRelativeError)
+{
+    const std::uint64_t v = GetParam();
+    Histogram h;
+    h.Record(v);
+    const double rep = static_cast<double>(h.Percentile(0.5));
+    const double val = static_cast<double>(v);
+    EXPECT_NEAR(rep / val, 1.0, 1.0 / 32 + 0.001) << "value " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
+                         ::testing::Values(40ull, 1000ull, 750ull,
+                                           10'000ull, 1'000'000ull,
+                                           123'456'789ull,
+                                           98'765'432'101ull));
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"load", "p99 (us)"});
+    t.AddRow({"100000", "12.5"});
+    t.AddRow({"200000", "31.0"});
+    const std::string out = t.ToString();
+    EXPECT_NE(out.find("load"), std::string::npos);
+    EXPECT_NE(out.find("12.5"), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, FmtFormats)
+{
+    EXPECT_EQ(Table::Fmt("%.1f%%", 4.65), "4.7%");
+    EXPECT_EQ(Table::Fmt("%d", 42), "42");
+}
+
+}  // namespace
+}  // namespace wave::stats
+
+namespace wave::stats {
+namespace {
+
+TEST(Summary, ExtractsThePercentileSet)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v * 100);
+    const Summary s = Summary::From(h);
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_NEAR(static_cast<double>(s.p50), 50'000, 2'000);
+    EXPECT_NEAR(static_cast<double>(s.p99), 99'000, 4'000);
+    EXPECT_EQ(s.max, 100'000u);
+    EXPECT_NEAR(s.mean, 50'050, 100);
+}
+
+TEST(Summary, FormatsReadably)
+{
+    Histogram h;
+    h.Record(12'000);
+    const std::string out = Summary::From(h).ToString();
+    EXPECT_NE(out.find("n=1"), std::string::npos);
+    EXPECT_NE(out.find("p99"), std::string::npos);
+}
+
+TEST(Summary, EmptyHistogramIsAllZero)
+{
+    const Summary s = Summary::From(Histogram{});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p99, 0u);
+}
+
+}  // namespace
+}  // namespace wave::stats

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit + integration tests for the workload layer: KV service request
+ * lifecycle, load-generator statistics, server pool queueing, and the
+ * end-to-end scheduling experiment harness on both deployments.
+ */
+#include <gtest/gtest.h>
+
+#include "workload/kv_service.h"
+#include "workload/loadgen.h"
+#include "workload/sched_experiment.h"
+#include "workload/server_pool.h"
+
+namespace wave::workload {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using namespace sim::time_literals;
+
+TEST(ServerPool, ProcessesJobsWithCost)
+{
+    Simulator sim;
+    machine::ClockDomain domain(1.0);
+    machine::Cpu cpu(sim, "c0", &domain);
+    ServerPool pool(sim, {&cpu});
+    pool.Start();
+
+    int done = 0;
+    sim::TimeNs done_at = 0;
+    pool.Submit({1000, [&] {
+                     ++done;
+                     done_at = sim.Now();
+                 }});
+    sim.RunFor(10_us);
+    EXPECT_EQ(done, 1);
+    EXPECT_GE(done_at, 1000u);
+}
+
+TEST(ServerPool, QueuesWhenAllServersBusy)
+{
+    Simulator sim;
+    machine::ClockDomain domain(1.0);
+    machine::Cpu cpu(sim, "c0", &domain);
+    ServerPool pool(sim, {&cpu});
+    pool.Start();
+
+    std::vector<sim::TimeNs> completions;
+    for (int i = 0; i < 3; ++i) {
+        pool.Submit({1000, [&] { completions.push_back(sim.Now()); }});
+    }
+    sim.RunFor(10_us);
+    ASSERT_EQ(completions.size(), 3u);
+    // Serialized on the single CPU: 1 us apart.
+    EXPECT_EQ(completions[1] - completions[0], 1000u);
+    EXPECT_EQ(completions[2] - completions[1], 1000u);
+}
+
+TEST(ServerPool, ParallelServersOverlap)
+{
+    Simulator sim;
+    machine::ClockDomain domain(1.0);
+    machine::Cpu c0(sim, "c0", &domain);
+    machine::Cpu c1(sim, "c1", &domain);
+    ServerPool pool(sim, {&c0, &c1});
+    pool.Start();
+
+    int done = 0;
+    pool.Submit({1000, [&] { ++done; }});
+    pool.Submit({1000, [&] { ++done; }});
+    sim.RunFor(1500);
+    EXPECT_EQ(done, 2) << "two servers should finish both in one round";
+}
+
+TEST(LoadGen, GeneratesApproximatelyTheOfferedRate)
+{
+    // Count submissions through a stub service-free path: use the
+    // experiment harness at light load instead, where achieved == offered.
+    SchedExperimentConfig cfg;
+    cfg.deployment = Deployment::kOnHost;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.offered_rps = 50'000;
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 100_ms;
+    auto r = RunSchedExperiment(cfg);
+    EXPECT_NEAR(r.achieved_rps, 50'000, 2'500);
+}
+
+TEST(LoadGen, MixesGetAndRangeRequests)
+{
+    SchedExperimentConfig cfg;
+    cfg.deployment = Deployment::kOnHost;
+    cfg.policy = PolicyKind::kShinjuku;
+    cfg.worker_cores = 8;
+    cfg.num_workers = 32;
+    cfg.offered_rps = 30'000;
+    cfg.get_fraction = 0.9;
+    cfg.range_service_ns = 100_us;  // mild ranges for a fast test
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 100_ms;
+    auto r = RunSchedExperiment(cfg);
+    // RANGE p99 must reflect the longer service time.
+    EXPECT_GT(r.range_p99, 100'000u);
+    EXPECT_GT(r.completed, 2000u);
+}
+
+class DeploymentTest : public ::testing::TestWithParam<Deployment> {};
+
+TEST_P(DeploymentTest, LightLoadHasLowLatency)
+{
+    SchedExperimentConfig cfg;
+    cfg.deployment = GetParam();
+    cfg.worker_cores = 8;
+    cfg.num_workers = 32;
+    cfg.offered_rps = 100'000;
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 100_ms;
+    auto r = RunSchedExperiment(cfg);
+    EXPECT_NEAR(r.achieved_rps, 100'000, 5'000);
+    // 10 us service + scheduling overhead: median well under 30 us.
+    EXPECT_LT(r.get_p50, 30'000u);
+    EXPECT_LT(r.get_p99, 100'000u);
+}
+
+TEST_P(DeploymentTest, OverloadDegradesGracefully)
+{
+    SchedExperimentConfig cfg;
+    cfg.deployment = GetParam();
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.offered_rps = 800'000;  // 2x what 4 cores can do
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 50_ms;
+    auto r = RunSchedExperiment(cfg);
+    // Achieved flattens near capacity instead of collapsing.
+    EXPECT_GT(r.achieved_rps, 200'000);
+    EXPECT_LT(r.achieved_rps, 500'000);
+    // Open-loop overload: latency explodes.
+    EXPECT_GT(r.get_p99, 1'000'000u);
+}
+
+TEST_P(DeploymentTest, NoCommitShouldFailUnderSteadyLoad)
+{
+    SchedExperimentConfig cfg;
+    cfg.deployment = GetParam();
+    cfg.worker_cores = 8;
+    cfg.num_workers = 32;
+    cfg.offered_rps = 200'000;
+    cfg.warmup_ns = 10_ms;
+    cfg.measure_ns = 50_ms;
+    auto r = RunSchedExperiment(cfg);
+    // Transactions may fail only in rare races; the vast majority of
+    // decisions must commit.
+    EXPECT_LT(r.commits_failed * 100, r.agent_decisions + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, DeploymentTest,
+    ::testing::Values(Deployment::kOnHost, Deployment::kWave),
+    [](const ::testing::TestParamInfo<Deployment>& info) {
+        return info.param == Deployment::kWave ? "Wave" : "OnHost";
+    });
+
+TEST(SchedExperiment, PrestagingImprovesThroughputNearSaturation)
+{
+    SchedExperimentConfig base;
+    base.deployment = Deployment::kWave;
+    base.worker_cores = 8;
+    base.num_workers = 48;
+    base.offered_rps = 640'000;  // near 8-core saturation
+    base.warmup_ns = 10_ms;
+    base.measure_ns = 60_ms;
+    base.prestage_min_depth = 4;
+
+    SchedExperimentConfig without = base;
+    without.prestage = false;
+    const auto with_r = RunSchedExperiment(base);
+    const auto without_r = RunSchedExperiment(without);
+    EXPECT_GT(with_r.achieved_rps, without_r.achieved_rps)
+        << "prestaging should raise the achievable rate (§5.4)";
+}
+
+TEST(SchedExperiment, WaveOptimizationLadderIsMonotonic)
+{
+    // Each §5.3/§5.4 optimization level must not hurt throughput.
+    SchedExperimentConfig base;
+    base.deployment = Deployment::kWave;
+    base.worker_cores = 8;
+    base.num_workers = 48;
+    base.offered_rps = 500'000;
+    base.warmup_ns = 10_ms;
+    base.measure_ns = 60_ms;
+
+    SchedExperimentConfig level0 = base;
+    level0.opt = api::OptimizationConfig::None();
+    level0.prestage = false;
+
+    SchedExperimentConfig level1 = level0;
+    level1.opt.nic_wb_ptes = true;
+
+    SchedExperimentConfig level2 = level1;
+    level2.opt.host_wc_wt_ptes = true;
+
+    SchedExperimentConfig level3 = level2;
+    level3.opt.prestage_prefetch = true;
+    level3.prestage = true;
+
+    const double t0 = RunSchedExperiment(level0).achieved_rps;
+    const double t1 = RunSchedExperiment(level1).achieved_rps;
+    const double t2 = RunSchedExperiment(level2).achieved_rps;
+    const double t3 = RunSchedExperiment(level3).achieved_rps;
+    EXPECT_GE(t1, t0 * 0.98);
+    EXPECT_GE(t2, t1 * 0.98);
+    EXPECT_GE(t3, t2 * 0.98);
+    EXPECT_GT(t3, t0) << "full optimizations must beat the baseline";
+}
+
+}  // namespace
+}  // namespace wave::workload
