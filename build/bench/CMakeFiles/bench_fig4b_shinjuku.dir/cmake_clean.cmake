@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_shinjuku.dir/bench_fig4b_shinjuku.cc.o"
+  "CMakeFiles/bench_fig4b_shinjuku.dir/bench_fig4b_shinjuku.cc.o.d"
+  "bench_fig4b_shinjuku"
+  "bench_fig4b_shinjuku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_shinjuku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vm_turbo.dir/bench_fig5_vm_turbo.cc.o"
+  "CMakeFiles/bench_fig5_vm_turbo.dir/bench_fig5_vm_turbo.cc.o.d"
+  "bench_fig5_vm_turbo"
+  "bench_fig5_vm_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vm_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_rpc_slo.dir/bench_fig6b_rpc_slo.cc.o"
+  "CMakeFiles/bench_fig6b_rpc_slo.dir/bench_fig6b_rpc_slo.cc.o.d"
+  "bench_fig6b_rpc_slo"
+  "bench_fig6b_rpc_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_rpc_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memmgr_policies.dir/bench_memmgr_policies.cc.o"
+  "CMakeFiles/bench_memmgr_policies.dir/bench_memmgr_policies.cc.o.d"
+  "bench_memmgr_policies"
+  "bench_memmgr_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memmgr_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prestage_depth.dir/bench_prestage_depth.cc.o"
+  "CMakeFiles/bench_prestage_depth.dir/bench_prestage_depth.cc.o.d"
+  "bench_prestage_depth"
+  "bench_prestage_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prestage_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

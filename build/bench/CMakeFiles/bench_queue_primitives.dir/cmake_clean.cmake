@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_primitives.dir/bench_queue_primitives.cc.o"
+  "CMakeFiles/bench_queue_primitives.dir/bench_queue_primitives.cc.o.d"
+  "bench_queue_primitives"
+  "bench_queue_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sol_footprint.dir/bench_sol_footprint.cc.o"
+  "CMakeFiles/bench_sol_footprint.dir/bench_sol_footprint.cc.o.d"
+  "bench_sol_footprint"
+  "bench_sol_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sol_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sol_scaling.dir/bench_sol_scaling.cc.o"
+  "CMakeFiles/bench_sol_scaling.dir/bench_sol_scaling.cc.o.d"
+  "bench_sol_scaling"
+  "bench_sol_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sol_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_sched_microbench.cc" "bench/CMakeFiles/bench_table3_sched_microbench.dir/bench_table3_sched_microbench.cc.o" "gcc" "bench/CMakeFiles/bench_table3_sched_microbench.dir/bench_table3_sched_microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/wave_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ghost/CMakeFiles/wave_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wave_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/wave_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/wave_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wave_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/wave_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/wave_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wave_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

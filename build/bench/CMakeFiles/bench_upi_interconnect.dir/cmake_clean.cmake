@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upi_interconnect.dir/bench_upi_interconnect.cc.o"
+  "CMakeFiles/bench_upi_interconnect.dir/bench_upi_interconnect.cc.o.d"
+  "bench_upi_interconnect"
+  "bench_upi_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upi_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

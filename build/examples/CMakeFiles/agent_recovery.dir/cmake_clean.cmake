@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_recovery.dir/agent_recovery.cpp.o"
+  "CMakeFiles/agent_recovery.dir/agent_recovery.cpp.o.d"
+  "agent_recovery"
+  "agent_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

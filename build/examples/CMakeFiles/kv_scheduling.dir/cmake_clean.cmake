@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_scheduling.dir/kv_scheduling.cpp.o"
+  "CMakeFiles/kv_scheduling.dir/kv_scheduling.cpp.o.d"
+  "kv_scheduling"
+  "kv_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

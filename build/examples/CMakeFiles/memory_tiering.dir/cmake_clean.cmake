@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tiering.dir/memory_tiering.cpp.o"
+  "CMakeFiles/memory_tiering.dir/memory_tiering.cpp.o.d"
+  "memory_tiering"
+  "memory_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

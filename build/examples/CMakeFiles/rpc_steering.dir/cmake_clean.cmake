@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_steering.dir/rpc_steering.cpp.o"
+  "CMakeFiles/rpc_steering.dir/rpc_steering.cpp.o.d"
+  "rpc_steering"
+  "rpc_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_turbo.dir/vm_turbo.cpp.o"
+  "CMakeFiles/vm_turbo.dir/vm_turbo.cpp.o.d"
+  "vm_turbo"
+  "vm_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

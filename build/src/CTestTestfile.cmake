@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("machine")
+subdirs("pcie")
+subdirs("channel")
+subdirs("wave")
+subdirs("ghost")
+subdirs("sched")
+subdirs("workload")
+subdirs("memmgr")
+subdirs("sol")
+subdirs("rpc")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_channel.dir/dma_queue.cc.o"
+  "CMakeFiles/wave_channel.dir/dma_queue.cc.o.d"
+  "CMakeFiles/wave_channel.dir/mmio_queue.cc.o"
+  "CMakeFiles/wave_channel.dir/mmio_queue.cc.o.d"
+  "libwave_channel.a"
+  "libwave_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

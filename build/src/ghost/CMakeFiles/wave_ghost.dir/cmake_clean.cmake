@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_ghost.dir/agent.cc.o"
+  "CMakeFiles/wave_ghost.dir/agent.cc.o.d"
+  "CMakeFiles/wave_ghost.dir/enclave.cc.o"
+  "CMakeFiles/wave_ghost.dir/enclave.cc.o.d"
+  "CMakeFiles/wave_ghost.dir/kernel.cc.o"
+  "CMakeFiles/wave_ghost.dir/kernel.cc.o.d"
+  "CMakeFiles/wave_ghost.dir/transport.cc.o"
+  "CMakeFiles/wave_ghost.dir/transport.cc.o.d"
+  "libwave_ghost.a"
+  "libwave_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

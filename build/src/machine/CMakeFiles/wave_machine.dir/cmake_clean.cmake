@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_machine.dir/turbo.cc.o"
+  "CMakeFiles/wave_machine.dir/turbo.cc.o.d"
+  "libwave_machine.a"
+  "libwave_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_pcie.dir/dma.cc.o"
+  "CMakeFiles/wave_pcie.dir/dma.cc.o.d"
+  "CMakeFiles/wave_pcie.dir/mmio.cc.o"
+  "CMakeFiles/wave_pcie.dir/mmio.cc.o.d"
+  "CMakeFiles/wave_pcie.dir/msix.cc.o"
+  "CMakeFiles/wave_pcie.dir/msix.cc.o.d"
+  "libwave_pcie.a"
+  "libwave_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_rpc.dir/rpc_experiment.cc.o"
+  "CMakeFiles/wave_rpc.dir/rpc_experiment.cc.o.d"
+  "CMakeFiles/wave_rpc.dir/rpc_stack.cc.o"
+  "CMakeFiles/wave_rpc.dir/rpc_stack.cc.o.d"
+  "libwave_rpc.a"
+  "libwave_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

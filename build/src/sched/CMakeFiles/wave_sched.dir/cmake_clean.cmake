@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_sched.dir/cfs_lite.cc.o"
+  "CMakeFiles/wave_sched.dir/cfs_lite.cc.o.d"
+  "CMakeFiles/wave_sched.dir/fifo.cc.o"
+  "CMakeFiles/wave_sched.dir/fifo.cc.o.d"
+  "CMakeFiles/wave_sched.dir/shinjuku.cc.o"
+  "CMakeFiles/wave_sched.dir/shinjuku.cc.o.d"
+  "CMakeFiles/wave_sched.dir/vm_policy.cc.o"
+  "CMakeFiles/wave_sched.dir/vm_policy.cc.o.d"
+  "libwave_sched.a"
+  "libwave_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_sim.dir/logging.cc.o"
+  "CMakeFiles/wave_sim.dir/logging.cc.o.d"
+  "CMakeFiles/wave_sim.dir/random.cc.o"
+  "CMakeFiles/wave_sim.dir/random.cc.o.d"
+  "CMakeFiles/wave_sim.dir/simulator.cc.o"
+  "CMakeFiles/wave_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/wave_sim.dir/sync.cc.o"
+  "CMakeFiles/wave_sim.dir/sync.cc.o.d"
+  "CMakeFiles/wave_sim.dir/trace.cc.o"
+  "CMakeFiles/wave_sim.dir/trace.cc.o.d"
+  "libwave_sim.a"
+  "libwave_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_sol.dir/agent.cc.o"
+  "CMakeFiles/wave_sol.dir/agent.cc.o.d"
+  "CMakeFiles/wave_sol.dir/policy.cc.o"
+  "CMakeFiles/wave_sol.dir/policy.cc.o.d"
+  "libwave_sol.a"
+  "libwave_sol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_sol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_stats.dir/histogram.cc.o"
+  "CMakeFiles/wave_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/wave_stats.dir/table.cc.o"
+  "CMakeFiles/wave_stats.dir/table.cc.o.d"
+  "libwave_stats.a"
+  "libwave_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_core.dir/runtime.cc.o"
+  "CMakeFiles/wave_core.dir/runtime.cc.o.d"
+  "CMakeFiles/wave_core.dir/txn.cc.o"
+  "CMakeFiles/wave_core.dir/txn.cc.o.d"
+  "CMakeFiles/wave_core.dir/watchdog.cc.o"
+  "CMakeFiles/wave_core.dir/watchdog.cc.o.d"
+  "libwave_core.a"
+  "libwave_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

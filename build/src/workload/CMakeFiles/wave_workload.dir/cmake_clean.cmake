@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_workload.dir/kv_service.cc.o"
+  "CMakeFiles/wave_workload.dir/kv_service.cc.o.d"
+  "CMakeFiles/wave_workload.dir/loadgen.cc.o"
+  "CMakeFiles/wave_workload.dir/loadgen.cc.o.d"
+  "CMakeFiles/wave_workload.dir/sched_experiment.cc.o"
+  "CMakeFiles/wave_workload.dir/sched_experiment.cc.o.d"
+  "libwave_workload.a"
+  "libwave_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmgr_test.dir/memmgr_test.cc.o"
+  "CMakeFiles/memmgr_test.dir/memmgr_test.cc.o.d"
+  "memmgr_test"
+  "memmgr_test.pdb"
+  "memmgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

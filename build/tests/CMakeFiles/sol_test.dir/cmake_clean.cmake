@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sol_test.dir/sol_test.cc.o"
+  "CMakeFiles/sol_test.dir/sol_test.cc.o.d"
+  "sol_test"
+  "sol_test.pdb"
+  "sol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

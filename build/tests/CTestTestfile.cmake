@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/wave_test[1]_include.cmake")
+include("/root/repo/build/tests/ghost_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/sol_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/enclave_test[1]_include.cmake")
+include("/root/repo/build/tests/memmgr_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
