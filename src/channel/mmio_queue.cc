@@ -102,10 +102,17 @@ NicConsumer::Poll()
 {
     const auto& layout = queue_.Layout();
     std::byte flag_raw[RingLayout::kFlagSize];
-    co_await map_.Read(queue_.FlagAddr(tail_), flag_raw, sizeof(flag_raw));
+    // The flag poll is the sanctioned optimistic read: host stores may
+    // still be parked in the WC buffer, in which case the generation
+    // simply does not match yet and we retry later.
+    co_await map_.Read(queue_.FlagAddr(tail_), flag_raw, sizeof(flag_raw),
+                       /*tolerate_stale=*/true);
     if (FromFlagBytes(flag_raw) != layout.GenerationOf(tail_)) {
         co_return std::nullopt;
     }
+    // Once the flag matched, the payload must have drained too (it is
+    // written before the flag and fenced by the same sfence), so this
+    // read is checked strictly.
     Bytes payload(layout.Config().payload_size);
     co_await map_.Read(queue_.PayloadAddr(tail_), payload.data(),
                        payload.size());
@@ -140,8 +147,11 @@ NicProducer::Full()
     if (head_ - cached_consumed_ < capacity) {
         co_return false;
     }
+    // A stale counter only under-reports consumption (the ring looks
+    // fuller than it is), which is conservative and safe.
     std::uint64_t counter = 0;
-    co_await map_.Read(queue_.CounterAddr(), &counter, sizeof(counter));
+    co_await map_.Read(queue_.CounterAddr(), &counter, sizeof(counter),
+                       /*tolerate_stale=*/true);
     cached_consumed_ = counter;
     co_return head_ - cached_consumed_ >= capacity;
 }
@@ -203,10 +213,14 @@ HostConsumer::Poll(bool flush_first)
     const auto& layout = queue_.Layout();
     // Slots are line-aligned with the flag adjacent to the payload, so
     // with a WT mapping this single read pulls flag + payload in one
-    // PCIe roundtrip (or hits the cache if prefetched).
+    // PCIe roundtrip (or hits the cache if prefetched). Without an
+    // explicit flush this is the sanctioned optimistic poll: a stale
+    // cached slot fails the generation check and we retry after the
+    // next flush point, so the checker must not flag it.
     Bytes slot(layout.Config().payload_size + RingLayout::kFlagSize);
     co_await read_map_.Read(queue_.PayloadAddr(tail_), slot.data(),
-                            slot.size());
+                            slot.size(),
+                            /*tolerate_stale=*/!flush_first);
     const std::uint64_t flag =
         FromFlagBytes(slot.data() + layout.Config().payload_size);
     if (flag != layout.GenerationOf(tail_)) {

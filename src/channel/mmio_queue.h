@@ -102,6 +102,9 @@ class HostProducer {
 
     const pcie::MmioStats& WriteStats() const { return write_map_.Stats(); }
 
+    /** The underlying ring (e.g. to reach the DRAM's checker). */
+    MmioQueue& Queue() { return queue_; }
+
   private:
     /** Refreshes the cached consumed counter over PCIe. */
     sim::Task<> RefreshConsumed();
@@ -126,6 +129,9 @@ class NicConsumer {
     sim::Task<std::vector<Bytes>> PollBatch(std::size_t max);
 
     std::uint64_t Consumed() const { return tail_; }
+
+    /** The underlying ring (e.g. to reach the DRAM's checker). */
+    MmioQueue& Queue() { return queue_; }
 
   private:
     sim::Task<> MaybeSyncCounter();
@@ -158,6 +164,9 @@ class NicProducer {
 
     /** True if the ring has no free slot (by local counter read). */
     sim::Task<bool> Full();
+
+    /** The underlying ring (e.g. to reach the DRAM's checker). */
+    MmioQueue& Queue() { return queue_; }
 
   private:
     MmioQueue& queue_;
@@ -210,6 +219,9 @@ class HostConsumer {
     }
 
     const pcie::MmioStats& ReadStats() const { return read_map_.Stats(); }
+
+    /** The underlying ring (e.g. to reach the DRAM's checker). */
+    MmioQueue& Queue() { return queue_; }
 
   private:
     sim::Task<> MaybeSyncCounter();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FNV-1a hashing for event-stream fingerprints.
+ *
+ * The determinism auditor folds every executed simulator event into a
+ * rolling 64-bit FNV-1a hash; two runs of the same configuration must
+ * end with the same fingerprint. FNV is chosen for the same reasons
+ * trace checksummers usually choose it: cheap enough for the event hot
+ * path, stateless (one word of state), and order-sensitive, so any
+ * divergence in event execution order changes the final digest.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace wave::check {
+
+/** 64-bit FNV-1a offset basis. */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/** 64-bit FNV-1a prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/** Folds one byte into the running hash. */
+constexpr std::uint64_t
+FnvByte(std::uint64_t hash, std::uint8_t byte)
+{
+    return (hash ^ byte) * kFnvPrime;
+}
+
+/** Folds a 64-bit word into the running hash, little-endian bytewise. */
+constexpr std::uint64_t
+FnvWord(std::uint64_t hash, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash = FnvByte(hash, static_cast<std::uint8_t>(word >> (i * 8)));
+    }
+    return hash;
+}
+
+}  // namespace wave::check

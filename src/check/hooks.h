@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Compile-time gate for checker instrumentation.
+ *
+ * Model code wraps every call into wave::check with WAVE_CHECK_HOOK so
+ * the whole instrumentation layer (including the null-pointer test on
+ * the attached checker) disappears from release builds configured with
+ * -DWAVE_CHECK=OFF. The CMake option defines WAVE_CHECK_ENABLED and
+ * defaults to ON, so tests and normal development builds always check.
+ */
+#pragma once
+
+#ifdef WAVE_CHECK_ENABLED
+#define WAVE_CHECK_HOOK(expr) \
+    do {                      \
+        expr;                 \
+    } while (0)
+#else
+#define WAVE_CHECK_HOOK(expr) \
+    do {                      \
+    } while (0)
+#endif

@@ -1,5 +1,8 @@
 #include "pcie/dma.h"
 
+#include "check/coherence.h"
+#include "check/hooks.h"
+
 namespace wave::pcie {
 
 sim::Task<std::shared_ptr<DmaCompletion>>
@@ -49,6 +52,20 @@ DmaEngine::RunTransfer(std::shared_ptr<DmaCompletion> completion,
     std::vector<std::byte> buffer(n);
     src.ReadRaw(src_offset, buffer.data(), n);
     dst.WriteRaw(dst_offset, buffer.data(), n);
+    if (write_observer_) {
+        write_observer_(dst, dst_offset, n);
+    }
+    WAVE_CHECK_HOOK({
+        if (checker_ != nullptr) {
+            checker_->OnRead(&src, check::Domain::kDma, src_offset, n,
+                             /*from_host_cache=*/false,
+                             /*tolerate_stale=*/false,
+                             "DmaEngine::RunTransfer(src)");
+            checker_->OnDmaWrite(&dst, dst_offset, n,
+                                 "DmaEngine::RunTransfer(dst)");
+            checker_->OnOrderingPoint("dma-completion");
+        }
+    });
     channel_.Release();
     completion->MarkDone();
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "pcie/config.h"
@@ -24,6 +25,10 @@
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+
+namespace wave::check {
+class CoherenceChecker;
+}
 
 namespace wave::pcie {
 
@@ -108,6 +113,25 @@ class DmaEngine {
     std::uint64_t TransfersStarted() const { return transfers_; }
     std::uint64_t BytesMoved() const { return bytes_moved_; }
 
+    /**
+     * Observer invoked whenever a transfer lands bytes in a destination
+     * region. WaveRuntime wires this to the NIC DRAM's coherence
+     * machinery so DMA writes into the MMIO window invalidate (or mark
+     * stale) host-cached lines exactly like NIC-core stores do.
+     */
+    void
+    SetWriteObserver(
+        std::function<void(MemoryRegion&, std::size_t, std::size_t)> cb)
+    {
+        write_observer_ = std::move(cb);
+    }
+
+    /** Attaches the wave::check coherence checker (may be nullptr). */
+    void AttachChecker(check::CoherenceChecker* checker)
+    {
+        checker_ = checker;
+    }
+
   private:
     sim::Task<> RunTransfer(std::shared_ptr<DmaCompletion> completion,
                             MemoryRegion& src, std::size_t src_offset,
@@ -117,6 +141,9 @@ class DmaEngine {
     sim::Simulator& sim_;
     PcieConfig config_;
     sim::Resource channel_;
+    std::function<void(MemoryRegion&, std::size_t, std::size_t)>
+        write_observer_;
+    check::CoherenceChecker* checker_ = nullptr;
     bool numa_local_ = true;
     std::uint64_t transfers_ = 0;
     std::uint64_t bytes_moved_ = 0;

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/coherence.h"
+#include "check/hooks.h"
+
 namespace wave::pcie {
+
+namespace {
+
+/** Clamps the accessed range to one line for per-line checker reports. */
+struct LineSpan {
+    std::size_t offset;
+    std::size_t size;
+};
+
+LineSpan
+ClampToLine(std::size_t line, std::size_t offset, std::size_t n)
+{
+    const std::size_t lo =
+        std::max(offset, line * PcieConfig::kLineSize);
+    const std::size_t hi =
+        std::min(offset + n, (line + 1) * PcieConfig::kLineSize);
+    return LineSpan{lo, hi - lo};
+}
+
+}  // namespace
 
 void
 NicDram::RegisterHostMapping(HostMmioMapping* mapping)
@@ -33,7 +56,8 @@ HostMmioMapping::HostMmioMapping(NicDram& dram, PteType type)
 }
 
 sim::Task<>
-HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n)
+HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n,
+                      bool tolerate_stale)
 {
     // Reads must observe our own buffered WC stores; real WC reads are
     // unordered with the buffer, so Wave's queues always drain first.
@@ -43,7 +67,7 @@ HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n)
     const bool cached_reads =
         type_ == PteType::kWriteThrough || type_ == PteType::kWriteBack;
     if (cached_reads) {
-        co_await ReadCachedWt(offset, dst, n);
+        co_await ReadCachedWt(offset, dst, n, tolerate_stale);
     } else {
         co_await ReadUncached(offset, dst, n);
     }
@@ -57,10 +81,19 @@ HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
     co_await dram_.Sim().Delay(config_.mmio_read_ns *
                                static_cast<sim::DurationNs>(words));
     dram_.Backing().ReadRaw(offset, dst, n);
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnRead(&dram_.Backing(), check::Domain::kHost,
+                            offset, n, /*from_host_cache=*/false,
+                            /*tolerate_stale=*/false,
+                            "HostMmioMapping::ReadUncached");
+        }
+    });
 }
 
 sim::Task<>
-HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n)
+HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
+                              bool tolerate_stale)
 {
     constexpr std::size_t kLine = PcieConfig::kLineSize;
     const std::size_t first_line = LineOf(offset);
@@ -72,6 +105,16 @@ HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n)
             // Filled line in cache: a hit, possibly a stale one.
             stats_.cache_hits += 1;
             if (it->second.nic_dirtied) stats_.stale_reads += 1;
+            WAVE_CHECK_HOOK({
+                if (auto* checker = dram_.Checker()) {
+                    const LineSpan span = ClampToLine(line, offset, n);
+                    checker->OnRead(&dram_.Backing(),
+                                    check::Domain::kHost, span.offset,
+                                    span.size, /*from_host_cache=*/true,
+                                    tolerate_stale,
+                                    "HostMmioMapping::ReadCachedWt");
+                }
+            });
             co_await dram_.Sim().Delay(config_.cache_hit_ns);
             continue;
         }
@@ -102,6 +145,17 @@ HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n)
         dram_.Backing().ReadRaw(base, cl.data.data(), len);
         cl.nic_dirtied = false;
         cl.fill_done = dram_.Sim().Now();
+        WAVE_CHECK_HOOK({
+            if (auto* checker = dram_.Checker()) {
+                checker->OnCacheFill(&dram_.Backing(), line);
+                const LineSpan span = ClampToLine(line, offset, n);
+                checker->OnRead(&dram_.Backing(), check::Domain::kHost,
+                                span.offset, span.size,
+                                /*from_host_cache=*/false,
+                                tolerate_stale,
+                                "HostMmioMapping::ReadCachedWt(fill)");
+            }
+        });
     }
 
     // Serve the bytes from the cached copies (which may be stale — that
@@ -161,6 +215,12 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
             std::vector<std::byte> copy(n);
             std::memcpy(copy.data(), src, n);
             wc_stores_.emplace_back(offset, std::move(copy));
+            WAVE_CHECK_HOOK({
+                if (auto* checker = dram_.Checker()) {
+                    checker->OnWcBuffered(&dram_.Backing(), offset, n,
+                                          "HostMmioMapping::Write[WC]");
+                }
+            });
             co_await dram_.Sim().Delay(
                 config_.wc_store_ns *
                 static_cast<sim::DurationNs>(WordsIn(n)));
@@ -202,6 +262,12 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
             i += chunk;
         }
     }
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnWrite(&dram_.Backing(), check::Domain::kHost,
+                             offset, n, "HostMmioMapping::Write");
+        }
+    });
     PostStores(offset, src, n);
 }
 
@@ -216,8 +282,18 @@ HostMmioMapping::Sfence()
     wc_stores_.clear();
     co_await dram_.Sim().Delay(config_.sfence_ns);
     for (auto& [off, data] : stores) {
+        WAVE_CHECK_HOOK({
+            if (auto* checker = dram_.Checker()) {
+                checker->OnWcDrained(&dram_.Backing(), off, data.size());
+            }
+        });
         PostStores(off, data.data(), data.size());
     }
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnOrderingPoint("sfence");
+        }
+    });
 }
 
 void
@@ -250,6 +326,11 @@ HostMmioMapping::Prefetch(std::size_t offset, std::size_t n)
                 std::min(kLine, dram_.Backing().Size() - base);
             dram_.Backing().ReadRaw(base, entry->second.data.data(), len);
             entry->second.nic_dirtied = false;
+            WAVE_CHECK_HOOK({
+                if (auto* checker = dram_.Checker()) {
+                    checker->OnCacheFill(&dram_.Backing(), line);
+                }
+            });
         });
     }
 }
@@ -264,8 +345,18 @@ HostMmioMapping::Clflush(std::size_t offset, std::size_t n)
         if (cache_.erase(line) > 0) {
             stats_.clflushes += 1;
             cost += config_.clflush_ns;
+            WAVE_CHECK_HOOK({
+                if (auto* checker = dram_.Checker()) {
+                    checker->OnCacheDrop(&dram_.Backing(), line);
+                }
+            });
         }
     }
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnOrderingPoint("clflush");
+        }
+    });
     if (cost > 0) {
         co_await dram_.Sim().Delay(cost);
     }
@@ -277,7 +368,13 @@ HostMmioMapping::InvalidateLines(std::size_t offset, std::size_t n)
     const std::size_t first_line = LineOf(offset);
     const std::size_t last_line = LineOf(offset + n - 1);
     for (std::size_t line = first_line; line <= last_line; ++line) {
-        cache_.erase(line);
+        if (cache_.erase(line) > 0) {
+            WAVE_CHECK_HOOK({
+                if (auto* checker = dram_.Checker()) {
+                    checker->OnCacheDrop(&dram_.Backing(), line);
+                }
+            });
+        }
     }
 }
 
@@ -313,10 +410,18 @@ NicLocalMapping::AccessCost(std::size_t n) const
 }
 
 sim::Task<>
-NicLocalMapping::Read(std::size_t offset, void* dst, std::size_t n)
+NicLocalMapping::Read(std::size_t offset, void* dst, std::size_t n,
+                      bool tolerate_stale)
 {
     co_await dram_.Sim().Delay(AccessCost(n));
     dram_.Backing().ReadRaw(offset, dst, n);
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnRead(&dram_.Backing(), check::Domain::kNic, offset,
+                            n, /*from_host_cache=*/false, tolerate_stale,
+                            "NicLocalMapping::Read");
+        }
+    });
 }
 
 sim::Task<>
@@ -324,6 +429,12 @@ NicLocalMapping::Write(std::size_t offset, const void* src, std::size_t n)
 {
     co_await dram_.Sim().Delay(AccessCost(n));
     dram_.Backing().WriteRaw(offset, src, n);
+    WAVE_CHECK_HOOK({
+        if (auto* checker = dram_.Checker()) {
+            checker->OnWrite(&dram_.Backing(), check::Domain::kNic,
+                             offset, n, "NicLocalMapping::Write");
+        }
+    });
     dram_.OnNicWrite(offset, n);
 }
 

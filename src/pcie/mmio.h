@@ -38,6 +38,10 @@
 #include "sim/simulator.h"
 #include "sim/task.h"
 
+namespace wave::check {
+class CoherenceChecker;
+}
+
 namespace wave::pcie {
 
 /** Page-table-entry cache attribute for a mapping (§5.3.1). */
@@ -68,11 +72,22 @@ class NicDram {
     /** Called on every NIC-side store for coherent-mode invalidation. */
     void OnNicWrite(std::size_t offset, std::size_t n);
 
+    /**
+     * Attaches a wave::check coherence checker; all mappings over this
+     * DRAM report their accesses to it. Pass nullptr to detach.
+     */
+    void AttachChecker(check::CoherenceChecker* checker)
+    {
+        checker_ = checker;
+    }
+    check::CoherenceChecker* Checker() const { return checker_; }
+
   private:
     sim::Simulator& sim_;
     PcieConfig config_;
     MemoryRegion backing_;
     std::vector<HostMmioMapping*> host_mappings_;
+    check::CoherenceChecker* checker_ = nullptr;
 };
 
 /** Access statistics for assertions and bench reporting. */
@@ -96,8 +111,16 @@ class HostMmioMapping {
   public:
     HostMmioMapping(NicDram& dram, PteType type);
 
-    /** Demand read of [offset, offset+n). Applies UC or WT semantics. */
-    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n);
+    /**
+     * Demand read of [offset, offset+n). Applies UC or WT semantics.
+     *
+     * @param tolerate_stale annotates protocol reads that validate
+     *        freshness another way (generation flags, conservative
+     *        counters); the coherence checker counts — but does not
+     *        report — stale cache hits on such reads.
+     */
+    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n,
+                     bool tolerate_stale = false);
 
     /** Store to [offset, offset+n). Applies UC, WT, or WC semantics. */
     sim::Task<> Write(std::size_t offset, const void* src, std::size_t n);
@@ -137,7 +160,8 @@ class HostMmioMapping {
     }
 
     sim::Task<> ReadUncached(std::size_t offset, void* dst, std::size_t n);
-    sim::Task<> ReadCachedWt(std::size_t offset, void* dst, std::size_t n);
+    sim::Task<> ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
+                             bool tolerate_stale);
 
     /** Issues the posted stores for [offset, n) (visibility-delayed). */
     void PostStores(std::size_t offset, const void* src, std::size_t n);
@@ -167,8 +191,16 @@ class NicLocalMapping {
   public:
     NicLocalMapping(NicDram& dram, PteType type);
 
-    /** Local read; cost depends on UC vs WB mapping. */
-    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n);
+    /**
+     * Local read; cost depends on UC vs WB mapping.
+     *
+     * @param tolerate_stale annotates optimistic polls that are safe
+     *        against not-yet-drained host write-combining stores (the
+     *        generation flag simply won't match yet); the coherence
+     *        checker skips the unflushed-WC check on such reads.
+     */
+    sim::Task<> Read(std::size_t offset, void* dst, std::size_t n,
+                     bool tolerate_stale = false);
 
     /** Local write; visible to the host's next PCIe fetch immediately. */
     sim::Task<> Write(std::size_t offset, const void* src, std::size_t n);

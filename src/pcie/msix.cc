@@ -1,5 +1,8 @@
 #include "pcie/msix.h"
 
+#include "check/coherence.h"
+#include "check/hooks.h"
+
 namespace wave::pcie {
 
 sim::Task<>
@@ -17,6 +20,11 @@ MsiXVector::Send(SendPath path)
                                  config_.msix_receive_ns;
     sim_.Schedule(send_cost + wire, [this] {
         pending_ = true;
+        WAVE_CHECK_HOOK({
+            if (checker_ != nullptr) {
+                checker_->OnOrderingPoint("msix-delivery");
+            }
+        });
         if (!masked_) {
             arrival_.NotifyAll();
             if (delivery_handler_) delivery_handler_();

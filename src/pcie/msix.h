@@ -23,6 +23,10 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 
+namespace wave::check {
+class CoherenceChecker;
+}
+
 namespace wave::pcie {
 
 /** One MSI-X vector targeting one host core. */
@@ -75,11 +79,21 @@ class MsiXVector {
 
     std::uint64_t SendCount() const { return sends_; }
 
+    /**
+     * Attaches the wave::check coherence checker; deliveries are then
+     * recorded as "msix-delivery" ordering points.
+     */
+    void AttachChecker(check::CoherenceChecker* checker)
+    {
+        checker_ = checker;
+    }
+
   private:
     sim::Simulator& sim_;
     PcieConfig config_;
     sim::Signal arrival_;
     std::function<void()> delivery_handler_;
+    check::CoherenceChecker* checker_ = nullptr;
     bool pending_ = false;
     bool masked_ = false;
     std::uint64_t sends_ = 0;

@@ -36,13 +36,20 @@ void Inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
  * Panics if @p condition is false. Optional printf-style message.
  *
  * Kept as a macro so the failing expression text appears in the message.
+ * The `"" __VA_ARGS__` splice passes an empty format string when no
+ * message is given, which -Wformat-zero-length would flag at every
+ * expansion site; the pragmas silence exactly that, keeping builds
+ * clean under -Wall -Wextra with warnings-as-errors.
  */
-#define WAVE_ASSERT(condition, ...)                                  \
-    do {                                                             \
-        if (!(condition)) {                                          \
-            ::wave::sim::AssertFail(#condition, __FILE__, __LINE__,  \
-                                    "" __VA_ARGS__);                 \
-        }                                                            \
+#define WAVE_ASSERT(condition, ...)                                   \
+    do {                                                              \
+        if (!(condition)) {                                           \
+            _Pragma("GCC diagnostic push")                            \
+            _Pragma("GCC diagnostic ignored \"-Wformat-zero-length\"")\
+            ::wave::sim::AssertFail(#condition, __FILE__, __LINE__,   \
+                                    "" __VA_ARGS__);                  \
+            _Pragma("GCC diagnostic pop")                             \
+        }                                                             \
     } while (0)
 
 }  // namespace wave::sim

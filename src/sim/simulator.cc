@@ -35,8 +35,37 @@ Simulator::Schedule(DurationNs delay, std::function<void()> fn)
 void
 Simulator::ScheduleAt(TimeNs when, std::function<void()> fn)
 {
+    Push(when, Event::kUnkeyed, std::move(fn));
+}
+
+void
+Simulator::ScheduleKeyed(DurationNs delay, std::uint64_t key,
+                         std::function<void()> fn)
+{
+    ScheduleAtKeyed(now_ + delay, key, std::move(fn));
+}
+
+void
+Simulator::ScheduleAtKeyed(TimeNs when, std::uint64_t key,
+                           std::function<void()> fn)
+{
+    WAVE_ASSERT(key != Event::kUnkeyed,
+                "the all-ones key is reserved for unkeyed events");
+    Push(when, key, std::move(fn));
+}
+
+void
+Simulator::Push(TimeNs when, std::uint64_t key, std::function<void()> fn)
+{
     WAVE_ASSERT(when >= now_, "scheduling into the past");
-    events_.push(Event{when, next_seq_++, std::move(fn)});
+    if (tie_audit_) {
+        std::uint32_t& pending = pending_at_[when];
+        if (pending > 0 && key == Event::kUnkeyed) {
+            ++unkeyed_tie_insertions_;
+        }
+        ++pending;
+    }
+    events_.push(Event{when, key, next_seq_++, std::move(fn)});
 }
 
 void
@@ -57,6 +86,21 @@ Simulator::Step()
     events_.pop();
     WAVE_ASSERT(ev.when >= now_, "event queue went backwards");
     now_ = ev.when;
+    if (tie_audit_) {
+        auto it = pending_at_.find(ev.when);
+        if (it != pending_at_.end() && --it->second == 0) {
+            pending_at_.erase(it);
+        }
+    }
+    // Fold the executed event into the determinism fingerprint. Keyed
+    // events contribute their explicit key so the hash is insensitive
+    // to insertion-order shuffles; unkeyed events contribute their
+    // insertion sequence number, which identical runs reproduce.
+    event_hash_ = check::FnvWord(event_hash_, ev.when);
+    event_hash_ = check::FnvWord(
+        event_hash_, ev.key != Event::kUnkeyed ? ev.key : ev.seq);
+    event_hash_ = check::FnvByte(
+        event_hash_, ev.key != Event::kUnkeyed ? 1 : 0);
     ev.fn();
     if (++events_executed_ % kSweepInterval == 0) {
         SweepRoots(/*all=*/false);

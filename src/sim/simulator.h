@@ -8,15 +8,28 @@
  * primitives, hardware-model operations) whose resumptions are themselves
  * events. Events at equal timestamps run in FIFO schedule order, so runs
  * are fully deterministic for a fixed seed.
+ *
+ * Determinism auditing (wave::check): the simulator folds every executed
+ * event into a rolling FNV-1a fingerprint — EventHash() — that two runs
+ * of the same configuration must reproduce bit-for-bit. Events whose
+ * same-timestamp order must not depend on insertion order can carry an
+ * explicit tie-break key (ScheduleKeyed/ScheduleAtKeyed): keyed events
+ * at one timestamp execute in key order regardless of how they were
+ * inserted, and the fingerprint folds the key instead of the insertion
+ * sequence number. EnableTieAudit() additionally counts unkeyed events
+ * inserted at a timestamp that already has pending events — the
+ * situations where execution order silently depends on schedule order.
  */
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
+#include "check/fnv.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -39,6 +52,23 @@ class Simulator {
 
     /** Schedules @p fn at absolute time @p when (must be >= Now()). */
     void ScheduleAt(TimeNs when, std::function<void()> fn);
+
+    /**
+     * Schedules @p fn with an explicit same-timestamp tie-break key.
+     *
+     * Keyed events at one timestamp execute in ascending key order (key
+     * ties fall back to insertion order) no matter how the insertions
+     * were interleaved, and the event-stream fingerprint folds the key
+     * instead of the insertion sequence number — so a component whose
+     * insertion order is not itself deterministic (e.g. iteration over
+     * an unordered registry) stays run-to-run reproducible.
+     */
+    void ScheduleKeyed(DurationNs delay, std::uint64_t key,
+                       std::function<void()> fn);
+
+    /** Absolute-time variant of ScheduleKeyed(). */
+    void ScheduleAtKeyed(TimeNs when, std::uint64_t key,
+                         std::function<void()> fn);
 
     /**
      * Starts a detached coroutine process.
@@ -71,6 +101,35 @@ class Simulator {
     /** Number of events executed since construction (for tests/metrics). */
     std::uint64_t EventsExecuted() const { return events_executed_; }
 
+    /**
+     * Rolling FNV-1a fingerprint of the executed event stream.
+     *
+     * Folds (timestamp, tie-break identity) of every executed event;
+     * two runs of the same configuration must end with equal hashes
+     * (determinism_test asserts this). Keyed events fold their explicit
+     * key, so the fingerprint is insensitive to insertion-order shuffles
+     * of keyed same-timestamp events.
+     */
+    std::uint64_t EventHash() const { return event_hash_; }
+
+    /**
+     * Starts counting unkeyed same-timestamp insertions.
+     *
+     * While enabled, scheduling an *unkeyed* event at a timestamp that
+     * already has pending events increments UnkeyedTieInsertions():
+     * those are exactly the events whose mutual execution order depends
+     * on schedule-call order rather than an explicit tie-break key.
+     * Enable before the first Schedule() call; the audit only tracks
+     * events inserted while it is on.
+     */
+    void EnableTieAudit() { tie_audit_ = true; }
+
+    /** Unkeyed insertions that collided with a pending timestamp. */
+    std::uint64_t UnkeyedTieInsertions() const
+    {
+        return unkeyed_tie_insertions_;
+    }
+
     /** Awaitable: suspends the calling process for @p delay ns. */
     auto
     Delay(DurationNs delay)
@@ -101,16 +160,26 @@ class Simulator {
   private:
     struct Event {
         TimeNs when;
+        std::uint64_t key;  ///< explicit tie-break, or kUnkeyed
         std::uint64_t seq;
         std::function<void()> fn;
+
+        /** Sentinel key for events scheduled without a tie-break. */
+        static constexpr std::uint64_t kUnkeyed = ~0ULL;
 
         bool
         operator>(const Event& other) const
         {
             if (when != other.when) return when > other.when;
+            // Keyed events order by key; unkeyed events carry the
+            // kUnkeyed sentinel and fall through to FIFO insertion
+            // order, preserving the pre-audit semantics exactly.
+            if (key != other.key) return key > other.key;
             return seq > other.seq;
         }
     };
+
+    void Push(TimeNs when, std::uint64_t key, std::function<void()> fn);
 
     /** Destroys finished root frames; destroys all frames if @p all. */
     void SweepRoots(bool all);
@@ -120,6 +189,10 @@ class Simulator {
     TimeNs now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
+    std::uint64_t event_hash_ = check::kFnvOffsetBasis;
+    std::uint64_t unkeyed_tie_insertions_ = 0;
+    std::map<TimeNs, std::uint32_t> pending_at_;  ///< tie-audit only
+    bool tie_audit_ = false;
     bool stopped_ = false;
 };
 

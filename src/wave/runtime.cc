@@ -1,5 +1,8 @@
 #include "wave/runtime.h"
 
+#include "check/coherence.h"
+#include "check/hooks.h"
+
 namespace wave {
 
 WaveRuntime::WaveRuntime(sim::Simulator& sim, machine::Machine& machine,
@@ -14,7 +17,26 @@ WaveRuntime::WaveRuntime(sim::Simulator& sim, machine::Machine& machine,
                                             nic_dram_bytes)),
       dma_(std::make_unique<pcie::DmaEngine>(sim, pcie_config))
 {
+    // DMA landings into the MMIO window must participate in the same
+    // coherence machinery as NIC-core stores: invalidate host-cached
+    // lines on coherent links, mark them stale on PCIe.
+    dma_->SetWriteObserver([this](pcie::MemoryRegion& region,
+                                  std::size_t offset, std::size_t n) {
+        if (&region == &dram_->Backing()) {
+            dram_->OnNicWrite(offset, n);
+        }
+    });
+#ifdef WAVE_CHECK_ENABLED
+    // Built with WAVE_CHECK (the default): every runtime carries the
+    // cross-domain coherence checker, recording violations and warning
+    // on stderr. Tests assert on Checker()->Violations().
+    checker_ = std::make_unique<check::CoherenceChecker>(sim_);
+    dram_->AttachChecker(checker_.get());
+    dma_->AttachChecker(checker_.get());
+#endif
 }
+
+WaveRuntime::~WaveRuntime() = default;
 
 std::size_t
 WaveRuntime::AllocateDram(std::size_t bytes)
@@ -89,7 +111,9 @@ WaveRuntime::CreateDmaQueue(const channel::QueueConfig& qc,
 std::unique_ptr<pcie::MsiXVector>
 WaveRuntime::CreateMsiXVector()
 {
-    return std::make_unique<pcie::MsiXVector>(sim_, pcie_config_);
+    auto vector = std::make_unique<pcie::MsiXVector>(sim_, pcie_config_);
+    WAVE_CHECK_HOOK(vector->AttachChecker(checker_.get()));
+    return vector;
 }
 
 AgentId

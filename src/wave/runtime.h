@@ -24,6 +24,10 @@
 #include "sim/simulator.h"
 #include "wave/api.h"
 
+namespace wave::check {
+class CoherenceChecker;
+}
+
 namespace wave {
 
 /** A host->NIC MMIO message channel (SEND_MESSAGES / POLL_MESSAGES). */
@@ -93,6 +97,7 @@ class WaveRuntime {
                 const pcie::PcieConfig& pcie_config,
                 const api::OptimizationConfig& opt,
                 std::size_t nic_dram_bytes = 16u << 20);
+    ~WaveRuntime();
 
     // --- Queues (CREATE_QUEUE / SET_QUEUE_TYPE / DESTROY_QUEUE) ---
 
@@ -126,6 +131,14 @@ class WaveRuntime {
     const api::OptimizationConfig& Opt() const { return opt_; }
     pcie::NicDram& Dram() { return *dram_; }
     pcie::DmaEngine& Dma() { return *dma_; }
+
+    /**
+     * The cross-domain coherence checker attached to this runtime's
+     * fabric, or nullptr when built with -DWAVE_CHECK=OFF. On by
+     * default: it records (and warns about) host<->NIC reads of lines
+     * dirty in the other clock domain without an ordering point.
+     */
+    check::CoherenceChecker* Checker() { return checker_.get(); }
     machine::Machine& GetMachine() { return machine_; }
     sim::Simulator& Sim() { return sim_; }
     const pcie::PcieConfig& PcieCfg() const { return pcie_config_; }
@@ -155,6 +168,7 @@ class WaveRuntime {
     api::OptimizationConfig opt_;
     std::unique_ptr<pcie::NicDram> dram_;
     std::unique_ptr<pcie::DmaEngine> dma_;
+    std::unique_ptr<check::CoherenceChecker> checker_;  ///< may be null
     std::size_t dram_bump_ = 0;
     std::vector<AgentSlot> agents_;
 };

@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "check/coherence.h"
+#include "check/hooks.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -50,6 +52,11 @@ class ShmQueue {
         for (const auto& message : messages) {
             if (items_.size() >= capacity_) break;
             co_await sim_.Delay(costs_.write_entry_ns);
+            WAVE_CHECK_HOOK({
+                if (checker_ != nullptr) {
+                    checker_->OnShmAccess(message.size());
+                }
+            });
             items_.push_back(message);
             ++sent;
         }
@@ -67,16 +74,33 @@ class ShmQueue {
         co_await sim_.Delay(costs_.read_entry_ns);
         auto out = std::move(items_.front());
         items_.pop_front();
+        WAVE_CHECK_HOOK({
+            if (checker_ != nullptr) {
+                checker_->OnShmAccess(out.size());
+            }
+        });
         co_return out;
     }
 
     std::size_t Size() const { return items_.size(); }
+
+    /**
+     * Attaches the wave::check checker. Coherent shared memory cannot
+     * race across the PCIe clock domains, so traffic is only counted —
+     * it shows up in CheckerStats::shm_accesses, confirming a workload
+     * exercised the on-host path.
+     */
+    void AttachChecker(check::CoherenceChecker* checker)
+    {
+        checker_ = checker;
+    }
 
   private:
     sim::Simulator& sim_;
     std::size_t capacity_;
     ShmCosts costs_;
     std::deque<std::vector<std::byte>> items_;
+    check::CoherenceChecker* checker_ = nullptr;
 };
 
 }  // namespace wave

@@ -1,5 +1,8 @@
 #include "wave/txn.h"
 
+#include "check/coherence.h"
+#include "check/hooks.h"
+
 namespace wave {
 
 namespace {
@@ -45,6 +48,12 @@ NicTxnEndpoint::TxnsCommit(bool send_msix)
     const std::size_t sent = co_await decisions_.SendBatch(staged_);
     staged_.erase(staged_.begin(),
                   staged_.begin() + static_cast<std::ptrdiff_t>(sent));
+    WAVE_CHECK_HOOK({
+        if (auto* checker = decisions_.Queue().Dram().Checker();
+            checker != nullptr && sent > 0) {
+            checker->OnOrderingPoint("txn-commit");
+        }
+    });
     if (send_msix && sent > 0) {
         WAVE_ASSERT(msix_ != nullptr,
                     "TxnsCommit(send_msix) on an endpoint with no vector");

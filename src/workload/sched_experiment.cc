@@ -120,6 +120,7 @@ RunSchedExperiment(const SchedExperimentConfig& cfg)
     result.agent_prestages = agent->Stats().prestages;
     result.agent_kicks = agent->Stats().kicks;
     result.messages_sent = kernel.Stats().messages_sent;
+    result.event_hash = sim.EventHash();
     return result;
 }
 

@@ -102,6 +102,8 @@ struct SchedExperimentResult {
     std::uint64_t agent_prestages = 0;
     std::uint64_t agent_kicks = 0;
     std::uint64_t messages_sent = 0;
+    /** Simulator event-stream fingerprint (determinism auditing). */
+    std::uint64_t event_hash = 0;
 };
 
 /** Runs one load point to completion and reports. */

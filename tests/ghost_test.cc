@@ -223,8 +223,8 @@ TEST_P(TransportTest, ConcurrentMessageSendersDoNotCorruptTheQueue)
 
 INSTANTIATE_TEST_SUITE_P(Bindings, TransportTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                             return info.param ? "Wave" : "OnHostShm";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                             return param_info.param ? "Wave" : "OnHostShm";
                          });
 
 /** Thread body burning a fixed amount of service time per wake. */
@@ -376,8 +376,8 @@ TEST_P(StackTest, WakeWhileRunningIsNotLost)
 
 INSTANTIATE_TEST_SUITE_P(Bindings, StackTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                             return info.param ? "Wave" : "OnHostShm";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                             return param_info.param ? "Wave" : "OnHostShm";
                          });
 
 TEST(Preemption, AgentKickPreemptsLongRunner)

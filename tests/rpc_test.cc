@@ -119,8 +119,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RpcScenario::kOnHostAll,
                       RpcScenario::kOnHostScheduler,
                       RpcScenario::kOffloadAll),
-    [](const ::testing::TestParamInfo<RpcScenario>& info) {
-        switch (info.param) {
+    [](const ::testing::TestParamInfo<RpcScenario>& param_info) {
+        switch (param_info.param) {
           case RpcScenario::kOnHostAll: return "OnHostAll";
           case RpcScenario::kOnHostScheduler: return "OnHostScheduler";
           default: return "OffloadAll";

@@ -158,8 +158,8 @@ TEST_P(DeploymentTest, NoCommitShouldFailUnderSteadyLoad)
 INSTANTIATE_TEST_SUITE_P(
     Deployments, DeploymentTest,
     ::testing::Values(Deployment::kOnHost, Deployment::kWave),
-    [](const ::testing::TestParamInfo<Deployment>& info) {
-        return info.param == Deployment::kWave ? "Wave" : "OnHost";
+    [](const ::testing::TestParamInfo<Deployment>& param_info) {
+        return param_info.param == Deployment::kWave ? "Wave" : "OnHost";
     });
 
 TEST(SchedExperiment, PrestagingImprovesThroughputNearSaturation)
