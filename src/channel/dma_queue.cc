@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "check/hooks.h"
+#include "check/protocol.h"
+
 namespace wave::channel {
 
 namespace {
@@ -84,6 +87,12 @@ DmaQueue::Send(const std::vector<Bytes>& messages, bool sync)
                                 sizeof(gen));
         co_await LocalAccess(sim_, producer_local_ns_,
                              layout_.SlotSize());
+        WAVE_CHECK_HOOK({
+            if (protocol_ != nullptr) {
+                protocol_->OnStreamSend(this, head_, check::Domain::kDma,
+                                        "DmaQueue::Send");
+            }
+        });
         ++head_;
         ++sent;
     }
@@ -104,6 +113,12 @@ DmaQueue::Poll()
     consumer_ring_.ReadRaw(layout_.PayloadOffset(tail_), payload.data(),
                            payload.size());
     co_await LocalAccess(sim_, consumer_local_ns_, payload.size());
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            protocol_->OnStreamRecv(this, tail_, check::Domain::kDma,
+                                    "DmaQueue::Poll");
+        }
+    });
     ++tail_;
     co_await MaybeSyncCounter();
     co_return payload;

@@ -30,6 +30,10 @@
 #include "pcie/memory.h"
 #include "sim/task.h"
 
+namespace wave::check {
+class ProtocolChecker;
+}
+
 namespace wave::channel {
 
 using Bytes = std::vector<std::byte>;
@@ -66,6 +70,17 @@ class DmaQueue {
     std::uint64_t Enqueued() const { return head_; }
     std::uint64_t Consumed() const { return tail_; }
 
+    /**
+     * Attaches the protocol verifier for seqnum-stream checking. The
+     * HB detector is not wired here: async DMA landing times live in
+     * the engine, so a sound release point would need completion
+     * callbacks (see docs/checker.md).
+     */
+    void AttachProtocol(check::ProtocolChecker* protocol)
+    {
+        protocol_ = protocol;
+    }
+
   private:
     /** DMAs the slot range [from, to) from producer to consumer ring. */
     sim::Task<> ShipRange(std::uint64_t from, std::uint64_t to, bool sync);
@@ -86,6 +101,7 @@ class DmaQueue {
     std::uint64_t tail_ = 0;            ///< consumer: next index to read
     std::uint64_t last_synced_ = 0;     ///< consumer: last advertised tail
     std::uint64_t producer_view_of_consumed_ = 0;
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 }  // namespace wave::channel

@@ -2,9 +2,19 @@
 
 #include <cstring>
 
+#include "check/hb.h"
+#include "check/hooks.h"
+#include "check/protocol.h"
+
 namespace wave::channel {
 
 namespace {
+
+/**
+ * Sync-variable tag for the consumed counter. Slot sync vars are
+ * tagged with the slot's absolute index, which never reaches 2^64-1.
+ */
+constexpr std::uint64_t kCounterSyncTag = ~0ULL;
 
 Bytes
 ToFlagBytes(std::uint64_t v)
@@ -46,6 +56,13 @@ HostProducer::RefreshConsumed()
     co_await counter_map_.Read(queue_.CounterAddr(), &counter,
                                sizeof(counter));
     cached_consumed_ = counter;
+    // Observing the consumer's counter is the acquire half of the lap
+    // handshake: it is what licenses overwriting consumed slots.
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnAcquire(actor_, &queue_, kCounterSyncTag);
+        }
+    });
 }
 
 sim::Task<std::size_t>
@@ -72,6 +89,22 @@ HostProducer::Send(const std::vector<Bytes>& messages)
         const Bytes flag = ToFlagBytes(layout.GenerationOf(head_));
         co_await write_map_.Write(queue_.FlagAddr(head_), flag.data(),
                                   flag.size());
+        // The payload store is a data access; the flag store is the
+        // release half of the publication handshake (the flag bytes
+        // themselves are never treated as data). The access must be
+        // recorded before the release advances this actor's clock.
+        WAVE_CHECK_HOOK({
+            if (hb_ != nullptr) {
+                hb_->OnAccess(actor_, &queue_, queue_.PayloadAddr(head_),
+                              message.size(), /*is_write=*/true,
+                              "HostProducer::Send[payload]");
+                hb_->OnRelease(actor_, &queue_, head_);
+            }
+            if (protocol_ != nullptr) {
+                protocol_->OnStreamSend(&queue_, head_, check::Domain::kHost,
+                                        "HostProducer::Send");
+            }
+        });
         ++head_;
         ++sent;
     }
@@ -93,6 +126,13 @@ NicConsumer::MaybeSyncCounter()
 {
     if (tail_ - last_synced_ >= queue_.Layout().Config().sync_interval) {
         co_await map_.Write(queue_.CounterAddr(), &tail_, sizeof(tail_));
+        // Publishing the counter releases every slot read so far: the
+        // producer may overwrite them only after acquiring this value.
+        WAVE_CHECK_HOOK({
+            if (hb_ != nullptr) {
+                hb_->OnRelease(actor_, &queue_, kCounterSyncTag);
+            }
+        });
         last_synced_ = tail_;
     }
 }
@@ -106,7 +146,7 @@ NicConsumer::Poll()
     // still be parked in the WC buffer, in which case the generation
     // simply does not match yet and we retry later.
     co_await map_.Read(queue_.FlagAddr(tail_), flag_raw, sizeof(flag_raw),
-                       /*tolerate_stale=*/true);
+                       /*tolerate_stale=*/true);  // gen mismatch => retry
     if (FromFlagBytes(flag_raw) != layout.GenerationOf(tail_)) {
         co_return std::nullopt;
     }
@@ -116,6 +156,20 @@ NicConsumer::Poll()
     Bytes payload(layout.Config().payload_size);
     co_await map_.Read(queue_.PayloadAddr(tail_), payload.data(),
                        payload.size());
+    // The matching flag poll is the acquire half of the publication
+    // handshake; it must precede the payload-read race check.
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnAcquire(actor_, &queue_, tail_);
+            hb_->OnAccess(actor_, &queue_, queue_.PayloadAddr(tail_),
+                          payload.size(), /*is_write=*/false,
+                          "NicConsumer::Poll[payload]");
+        }
+        if (protocol_ != nullptr) {
+            protocol_->OnStreamRecv(&queue_, tail_, check::Domain::kNic,
+                                    "NicConsumer::Poll");
+        }
+    });
     ++tail_;
     co_await MaybeSyncCounter();
     co_return payload;
@@ -151,8 +205,16 @@ NicProducer::Full()
     // fuller than it is), which is conservative and safe.
     std::uint64_t counter = 0;
     co_await map_.Read(queue_.CounterAddr(), &counter, sizeof(counter),
-                       /*tolerate_stale=*/true);
+                       /*tolerate_stale=*/true);  // stale => looks full
     cached_consumed_ = counter;
+    // Acquire the consumer's release; a stale value joins an *older*
+    // release state, which only adds edges the producer then does not
+    // rely on (it refuses to overwrite), so this stays sound.
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnAcquire(actor_, &queue_, kCounterSyncTag);
+        }
+    });
     co_return head_ - cached_consumed_ >= capacity;
 }
 
@@ -168,6 +230,18 @@ NicProducer::Send(const Bytes& message)
                         message.size());
     const std::uint64_t gen = layout.GenerationOf(head_);
     co_await map_.Write(queue_.FlagAddr(head_), &gen, sizeof(gen));
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnAccess(actor_, &queue_, queue_.PayloadAddr(head_),
+                          message.size(), /*is_write=*/true,
+                          "NicProducer::Send[payload]");
+            hb_->OnRelease(actor_, &queue_, head_);
+        }
+        if (protocol_ != nullptr) {
+            protocol_->OnStreamSend(&queue_, head_, check::Domain::kNic,
+                                    "NicProducer::Send");
+        }
+    });
     ++head_;
     co_return true;
 }
@@ -200,6 +274,11 @@ HostConsumer::MaybeSyncCounter()
         co_await counter_map_.Write(queue_.CounterAddr(), &tail_,
                                     sizeof(tail_));
         co_await counter_map_.Sfence();
+        WAVE_CHECK_HOOK({
+            if (hb_ != nullptr) {
+                hb_->OnRelease(actor_, &queue_, kCounterSyncTag);
+            }
+        });
         last_synced_ = tail_;
     }
 }
@@ -220,12 +299,24 @@ HostConsumer::Poll(bool flush_first)
     Bytes slot(layout.Config().payload_size + RingLayout::kFlagSize);
     co_await read_map_.Read(queue_.PayloadAddr(tail_), slot.data(),
                             slot.size(),
-                            /*tolerate_stale=*/!flush_first);
+                            /*tolerate_stale=*/!flush_first);  // gen-checked
     const std::uint64_t flag =
         FromFlagBytes(slot.data() + layout.Config().payload_size);
     if (flag != layout.GenerationOf(tail_)) {
         co_return std::nullopt;
     }
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnAcquire(actor_, &queue_, tail_);
+            hb_->OnAccess(actor_, &queue_, queue_.PayloadAddr(tail_),
+                          layout.Config().payload_size,
+                          /*is_write=*/false, "HostConsumer::Poll[payload]");
+        }
+        if (protocol_ != nullptr) {
+            protocol_->OnStreamRecv(&queue_, tail_, check::Domain::kHost,
+                                    "HostConsumer::Poll");
+        }
+    });
     slot.resize(layout.Config().payload_size);
     ++tail_;
     co_await MaybeSyncCounter();

@@ -24,7 +24,13 @@
 
 #include "channel/layout.h"
 #include "pcie/mmio.h"
+#include "sim/actor.h"
 #include "sim/task.h"
+
+namespace wave::check {
+class HbRaceDetector;
+class ProtocolChecker;
+}
 
 namespace wave::channel {
 
@@ -105,6 +111,23 @@ class HostProducer {
     /** The underlying ring (e.g. to reach the DRAM's checker). */
     MmioQueue& Queue() { return queue_; }
 
+    /**
+     * Attaches the protocol/HB checkers. @p actor identifies this
+     * endpoint's execution context; the binding is structural (one
+     * actor per endpoint) because the simulator has no ambient
+     * "current actor" across coroutine suspensions (see sim/actor.h).
+     */
+    void
+    BindCheckers(check::HbRaceDetector* hb,
+                 check::ProtocolChecker* protocol, sim::ActorId actor)
+    {
+        hb_ = hb;
+        protocol_ = protocol;
+        actor_ = actor;
+    }
+
+    sim::ActorId HbActor() const { return actor_; }
+
   private:
     /** Refreshes the cached consumed counter over PCIe. */
     sim::Task<> RefreshConsumed();
@@ -114,6 +137,9 @@ class HostProducer {
     pcie::HostMmioMapping counter_map_;
     std::uint64_t head_ = 0;           ///< next absolute index to write
     std::uint64_t cached_consumed_ = 0;
+    check::HbRaceDetector* hb_ = nullptr;
+    check::ProtocolChecker* protocol_ = nullptr;
+    sim::ActorId actor_ = sim::kNoActor;
 };
 
 /** NIC-side consumer for a host->NIC message queue. */
@@ -133,6 +159,18 @@ class NicConsumer {
     /** The underlying ring (e.g. to reach the DRAM's checker). */
     MmioQueue& Queue() { return queue_; }
 
+    /** Attaches the protocol/HB checkers (see HostProducer). */
+    void
+    BindCheckers(check::HbRaceDetector* hb,
+                 check::ProtocolChecker* protocol, sim::ActorId actor)
+    {
+        hb_ = hb;
+        protocol_ = protocol;
+        actor_ = actor;
+    }
+
+    sim::ActorId HbActor() const { return actor_; }
+
   private:
     sim::Task<> MaybeSyncCounter();
 
@@ -140,6 +178,9 @@ class NicConsumer {
     pcie::NicLocalMapping map_;
     std::uint64_t tail_ = 0;  ///< next absolute index to read
     std::uint64_t last_synced_ = 0;
+    check::HbRaceDetector* hb_ = nullptr;
+    check::ProtocolChecker* protocol_ = nullptr;
+    sim::ActorId actor_ = sim::kNoActor;
 };
 
 /** NIC-side producer for a NIC->host decision queue. */
@@ -168,11 +209,26 @@ class NicProducer {
     /** The underlying ring (e.g. to reach the DRAM's checker). */
     MmioQueue& Queue() { return queue_; }
 
+    /** Attaches the protocol/HB checkers (see HostProducer). */
+    void
+    BindCheckers(check::HbRaceDetector* hb,
+                 check::ProtocolChecker* protocol, sim::ActorId actor)
+    {
+        hb_ = hb;
+        protocol_ = protocol;
+        actor_ = actor;
+    }
+
+    sim::ActorId HbActor() const { return actor_; }
+
   private:
     MmioQueue& queue_;
     pcie::NicLocalMapping map_;
     std::uint64_t head_ = 0;
     std::uint64_t cached_consumed_ = 0;
+    check::HbRaceDetector* hb_ = nullptr;
+    check::ProtocolChecker* protocol_ = nullptr;
+    sim::ActorId actor_ = sim::kNoActor;
 };
 
 /** Host-side consumer for a NIC->host decision queue. */
@@ -223,6 +279,18 @@ class HostConsumer {
     /** The underlying ring (e.g. to reach the DRAM's checker). */
     MmioQueue& Queue() { return queue_; }
 
+    /** Attaches the protocol/HB checkers (see HostProducer). */
+    void
+    BindCheckers(check::HbRaceDetector* hb,
+                 check::ProtocolChecker* protocol, sim::ActorId actor)
+    {
+        hb_ = hb;
+        protocol_ = protocol;
+        actor_ = actor;
+    }
+
+    sim::ActorId HbActor() const { return actor_; }
+
   private:
     sim::Task<> MaybeSyncCounter();
 
@@ -231,6 +299,9 @@ class HostConsumer {
     pcie::HostMmioMapping counter_map_;
     std::uint64_t tail_ = 0;
     std::uint64_t last_synced_ = 0;
+    check::HbRaceDetector* hb_ = nullptr;
+    check::ProtocolChecker* protocol_ = nullptr;
+    sim::ActorId actor_ = sim::kNoActor;
 };
 
 }  // namespace wave::channel

@@ -1,5 +1,7 @@
 #include "ghost/enclave.h"
 
+#include "check/hooks.h"
+
 namespace wave::ghost {
 
 Enclave::Enclave(WaveRuntime& runtime, EnclaveConfig config)
@@ -10,15 +12,21 @@ Enclave::Enclave(WaveRuntime& runtime, EnclaveConfig config)
                 "enclave needs a policy factory");
     config_.agent.cores = config_.cores;
     if (config_.offloaded) {
+        // The Wave binding wires its queues/txn endpoints into the
+        // runtime's checkers itself.
         transport_ = std::make_unique<WaveSchedTransport>(runtime_,
                                                           config_.cores);
     } else {
-        transport_ = std::make_unique<ShmSchedTransport>(runtime_.Sim(),
-                                                         config_.cores);
+        auto shm = std::make_unique<ShmSchedTransport>(runtime_.Sim(),
+                                                       config_.cores);
+        WAVE_CHECK_HOOK(
+            shm->AttachCheckers(runtime_.Hb(), runtime_.Protocol()));
+        transport_ = std::move(shm);
     }
     kernel_ = std::make_unique<KernelSched>(
         runtime_.Sim(), runtime_.GetMachine(), *transport_, config_.costs,
         config_.kernel_options);
+    WAVE_CHECK_HOOK(kernel_->AttachProtocol(runtime_.Protocol()));
 }
 
 void
@@ -47,6 +55,7 @@ Enclave::Start()
         watchdog_ = std::make_unique<Watchdog>(
             runtime_.Sim(), config_.watchdog_timeout_ns,
             config_.watchdog_interval_ns, [this] { RestartAgent(); });
+        WAVE_CHECK_HOOK(watchdog_->AttachProtocol(runtime_.Protocol()));
         runtime_.Sim().Spawn(FeedWatchdogLoop());
         watchdog_->Arm();
     }

@@ -34,6 +34,10 @@
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 
+namespace wave::check {
+class ProtocolChecker;
+}
+
 namespace wave::ghost {
 
 /** Behaviour switches for the kernel loops. */
@@ -106,6 +110,17 @@ class KernelSched {
     KernelStats& Stats() { return stats_; }
     const GhostCosts& Costs() const { return costs_; }
 
+    /**
+     * Attaches the protocol verifier. The kernel reports every thread
+     * state transition (it is the source of truth, §6) plus each
+     * commit resolution, letting the checker catch commits that land
+     * against a stale view or claim a running thread twice.
+     */
+    void AttachProtocol(check::ProtocolChecker* protocol)
+    {
+        protocol_ = protocol;
+    }
+
   private:
     sim::Task<> CoreLoop(int core);
     sim::Task<> TickLoop(int core);
@@ -128,6 +143,7 @@ class KernelSched {
     ThreadTable threads_;
     KernelStats stats_;
     bool running_ = false;
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 }  // namespace wave::ghost

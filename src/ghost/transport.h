@@ -160,6 +160,15 @@ class ShmSchedTransport : public SchedTransport {
     /** Serves an explicit core set (one enclave's partition, §6). */
     ShmSchedTransport(sim::Simulator& sim, const std::vector<int>& cores);
 
+    /**
+     * Attaches the protocol/HB checkers to every queue and to the txn
+     * lifecycle. The Wave binding wires itself from its runtime; the
+     * shm baseline has no runtime, so the enclave passes the checkers
+     * in explicitly. Either argument may be null.
+     */
+    void AttachCheckers(check::HbRaceDetector* hb,
+                        check::ProtocolChecker* protocol);
+
     sim::Task<> HostSendMessage(const GhostMessage& message) override;
     sim::Task<std::optional<PendingDecision>> HostPollDecision(
         int core, bool flush_first) override;
@@ -192,6 +201,7 @@ class ShmSchedTransport : public SchedTransport {
     ShmQueue messages_;
     std::map<int, std::unique_ptr<PerCore>> percore_;
     api::TxnId next_txn_id_ = 1;
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 }  // namespace wave::ghost

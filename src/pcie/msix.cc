@@ -1,6 +1,7 @@
 #include "pcie/msix.h"
 
 #include "check/coherence.h"
+#include "check/hb.h"
 #include "check/hooks.h"
 
 namespace wave::pcie {
@@ -18,11 +19,21 @@ MsiXVector::Send(SendPath path)
     const sim::DurationNs wire = config_.msix_end_to_end_ns -
                                  config_.msix_send_ns -
                                  config_.msix_receive_ns;
+    // The send is the release half of the interrupt's HB edge; the
+    // acquire fires at delivery below.
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            hb_->OnRelease(hb_sender_, this, 0);
+        }
+    });
     sim_.Schedule(send_cost + wire, [this] {
         pending_ = true;
         WAVE_CHECK_HOOK({
             if (checker_ != nullptr) {
                 checker_->OnOrderingPoint("msix-delivery");
+            }
+            if (hb_ != nullptr) {
+                hb_->OnAcquire(hb_receiver_, this, 0);
             }
         });
         if (!masked_) {

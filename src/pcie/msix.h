@@ -19,12 +19,14 @@
 #include <functional>
 
 #include "pcie/config.h"
+#include "sim/actor.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
 namespace wave::check {
 class CoherenceChecker;
+class HbRaceDetector;
 }
 
 namespace wave::pcie {
@@ -88,12 +90,29 @@ class MsiXVector {
         checker_ = checker;
     }
 
+    /**
+     * Attaches the happens-before detector: every send is a release by
+     * @p sender, every delivery an acquire by @p receiver, giving the
+     * interrupt its natural cross-domain synchronization edge.
+     */
+    void
+    AttachHb(check::HbRaceDetector* hb, sim::ActorId sender,
+             sim::ActorId receiver)
+    {
+        hb_ = hb;
+        hb_sender_ = sender;
+        hb_receiver_ = receiver;
+    }
+
   private:
     sim::Simulator& sim_;
     PcieConfig config_;
     sim::Signal arrival_;
     std::function<void()> delivery_handler_;
     check::CoherenceChecker* checker_ = nullptr;
+    check::HbRaceDetector* hb_ = nullptr;
+    sim::ActorId hb_sender_ = sim::kNoActor;
+    sim::ActorId hb_receiver_ = sim::kNoActor;
     bool pending_ = false;
     bool masked_ = false;
     std::uint64_t sends_ = 0;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Actor identity for the discrete-event simulation.
+ *
+ * The simulator multiplexes every modelled execution context — host
+ * CPU loops, SmartNIC agent cores, the DMA engine, MSI-X delivery —
+ * onto one event queue, so "who performed this access" is not
+ * recoverable from the call stack. Components that participate in
+ * cross-domain protocols register an actor per logical execution
+ * context and stamp their accesses with it; the happens-before race
+ * detector (check/hb.h) builds its vector clocks over these ids.
+ *
+ * Registration is structural, not ambient: each endpoint owns its
+ * ActorId instead of reading a "current actor" variable, because a
+ * coroutine suspension point would silently hand the ambient value to
+ * an unrelated continuation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wave::sim {
+
+/** Identifier of one modelled execution context. 0 = no actor. */
+using ActorId = std::uint32_t;
+
+inline constexpr ActorId kNoActor = 0;
+
+/** Allocates actor ids and remembers their diagnostic labels. */
+class ActorRegistry {
+  public:
+    /**
+     * Registers a new actor. @p label must outlive the registry
+     * (call sites pass string literals).
+     */
+    ActorId
+    Register(const char* label)
+    {
+        labels_.push_back(label);
+        return static_cast<ActorId>(labels_.size());
+    }
+
+    /** Diagnostic label, or "?" for kNoActor / out-of-range ids. */
+    const char*
+    LabelOf(ActorId id) const
+    {
+        if (id == kNoActor || id > labels_.size()) return "?";
+        return labels_[id - 1];
+    }
+
+    std::size_t Count() const { return labels_.size(); }
+
+  private:
+    std::vector<const char*> labels_;
+};
+
+}  // namespace wave::sim

@@ -1,7 +1,9 @@
 #include "wave/runtime.h"
 
 #include "check/coherence.h"
+#include "check/hb.h"
 #include "check/hooks.h"
+#include "check/protocol.h"
 
 namespace wave {
 
@@ -33,6 +35,10 @@ WaveRuntime::WaveRuntime(sim::Simulator& sim, machine::Machine& machine,
     checker_ = std::make_unique<check::CoherenceChecker>(sim_);
     dram_->AttachChecker(checker_.get());
     dma_->AttachChecker(checker_.get());
+    // The protocol verifier and the happens-before race detector ride
+    // on the same gate; queue endpoints bind to them on creation.
+    protocol_ = std::make_unique<check::ProtocolChecker>(sim_);
+    hb_ = std::make_unique<check::HbRaceDetector>(sim_);
 #endif
 }
 
@@ -69,6 +75,14 @@ WaveRuntime::CreateHostToNicQueue(const channel::QueueConfig& qc)
         *chan.storage, write_type, counter_read);
     chan.nic = std::make_unique<channel::NicConsumer>(*chan.storage,
                                                       NicPte());
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            chan.host->BindCheckers(hb_.get(), protocol_.get(),
+                                    hb_->RegisterActor("host-producer"));
+            chan.nic->BindCheckers(hb_.get(), protocol_.get(),
+                                   hb_->RegisterActor("nic-consumer"));
+        }
+    });
     return chan;
 }
 
@@ -89,6 +103,14 @@ WaveRuntime::CreateNicToHostQueue(const channel::QueueConfig& qc)
                                             : pcie::PteType::kUncacheable;
     chan.host = std::make_unique<channel::HostConsumer>(
         *chan.storage, read_type, counter_write);
+    WAVE_CHECK_HOOK({
+        if (hb_ != nullptr) {
+            chan.nic->BindCheckers(hb_.get(), protocol_.get(),
+                                   hb_->RegisterActor("nic-producer"));
+            chan.host->BindCheckers(hb_.get(), protocol_.get(),
+                                    hb_->RegisterActor("host-consumer"));
+        }
+    });
     return chan;
 }
 
@@ -102,10 +124,12 @@ WaveRuntime::CreateDmaQueue(const channel::QueueConfig& qc,
         opt_.nic_wb_ptes ? pcie_config_.nic_wb_access_ns
                          : pcie_config_.nic_uncached_access_ns;
     const bool nic_is_producer = initiator == pcie::DmaInitiator::kNic;
-    return std::make_unique<channel::DmaQueue>(
+    auto queue = std::make_unique<channel::DmaQueue>(
         sim_, *dma_, initiator, qc,
         /*producer_local_ns=*/nic_is_producer ? nic_local : 0,
         /*consumer_local_ns=*/nic_is_producer ? 0 : nic_local);
+    WAVE_CHECK_HOOK(queue->AttachProtocol(protocol_.get()));
+    return queue;
 }
 
 std::unique_ptr<pcie::MsiXVector>

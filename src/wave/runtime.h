@@ -26,6 +26,8 @@
 
 namespace wave::check {
 class CoherenceChecker;
+class HbRaceDetector;
+class ProtocolChecker;
 }
 
 namespace wave {
@@ -139,6 +141,22 @@ class WaveRuntime {
      * dirty in the other clock domain without an ordering point.
      */
     check::CoherenceChecker* Checker() { return checker_.get(); }
+
+    /**
+     * The protocol state-machine verifier, or nullptr under
+     * -DWAVE_CHECK=OFF. Queue endpoints created by this runtime report
+     * their seqnum streams to it automatically; subsystems (txn
+     * endpoints, KernelSched, Watchdog) attach themselves on top.
+     */
+    check::ProtocolChecker* Protocol() { return protocol_.get(); }
+
+    /**
+     * The happens-before race detector, or nullptr under
+     * -DWAVE_CHECK=OFF. Queue endpoints created by this runtime are
+     * registered as actors and report accesses + sync edges.
+     */
+    check::HbRaceDetector* Hb() { return hb_.get(); }
+
     machine::Machine& GetMachine() { return machine_; }
     sim::Simulator& Sim() { return sim_; }
     const pcie::PcieConfig& PcieCfg() const { return pcie_config_; }
@@ -169,6 +187,8 @@ class WaveRuntime {
     std::unique_ptr<pcie::NicDram> dram_;
     std::unique_ptr<pcie::DmaEngine> dma_;
     std::unique_ptr<check::CoherenceChecker> checker_;  ///< may be null
+    std::unique_ptr<check::ProtocolChecker> protocol_;  ///< may be null
+    std::unique_ptr<check::HbRaceDetector> hb_;         ///< may be null
     std::size_t dram_bump_ = 0;
     std::vector<AgentSlot> agents_;
 };

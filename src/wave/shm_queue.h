@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "check/coherence.h"
+#include "check/hb.h"
 #include "check/hooks.h"
+#include "check/protocol.h"
+#include "sim/actor.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -56,8 +59,23 @@ class ShmQueue {
                 if (checker_ != nullptr) {
                     checker_->OnShmAccess(message.size());
                 }
+                // Entries never alias (absolute index), so each gets
+                // its own shadow line; the push is the release.
+                if (hb_ != nullptr) {
+                    hb_->OnAccess(producer_actor_, this,
+                                  sent_ * check::HbRaceDetector::kLineSize,
+                                  check::HbRaceDetector::kLineSize,
+                                  /*is_write=*/true, "ShmQueue::Send");
+                    hb_->OnRelease(producer_actor_, this, sent_);
+                }
+                if (protocol_ != nullptr) {
+                    protocol_->OnStreamSend(this, sent_,
+                                            check::Domain::kHost,
+                                            "ShmQueue::Send");
+                }
             });
             items_.push_back(message);
+            ++sent_;
             ++sent;
         }
         co_return sent;
@@ -78,7 +96,20 @@ class ShmQueue {
             if (checker_ != nullptr) {
                 checker_->OnShmAccess(out.size());
             }
+            if (hb_ != nullptr) {
+                hb_->OnAcquire(consumer_actor_, this, received_);
+                hb_->OnAccess(consumer_actor_, this,
+                              received_ * check::HbRaceDetector::kLineSize,
+                              check::HbRaceDetector::kLineSize,
+                              /*is_write=*/false, "ShmQueue::Poll");
+            }
+            if (protocol_ != nullptr) {
+                protocol_->OnStreamRecv(this, received_,
+                                        check::Domain::kHost,
+                                        "ShmQueue::Poll");
+            }
         });
+        ++received_;
         co_return out;
     }
 
@@ -95,12 +126,39 @@ class ShmQueue {
         checker_ = checker;
     }
 
+    /**
+     * Attaches the protocol/HB checkers. The queue is SPSC by design;
+     * each side is bound to one actor. Callers with several producing
+     * contexts serialized by a lock bind them as one actor (a
+     * documented over-approximation, see docs/checker.md).
+     */
+    void
+    BindCheckers(check::HbRaceDetector* hb,
+                 check::ProtocolChecker* protocol,
+                 sim::ActorId producer_actor, sim::ActorId consumer_actor)
+    {
+        hb_ = hb;
+        protocol_ = protocol;
+        producer_actor_ = producer_actor;
+        consumer_actor_ = consumer_actor;
+    }
+
+    /** Entries enqueued / dequeued over the queue's lifetime. */
+    std::uint64_t Enqueued() const { return sent_; }
+    std::uint64_t Consumed() const { return received_; }
+
   private:
     sim::Simulator& sim_;
     std::size_t capacity_;
     ShmCosts costs_;
     std::deque<std::vector<std::byte>> items_;
+    std::uint64_t sent_ = 0;      ///< absolute seqnum of next enqueue
+    std::uint64_t received_ = 0;  ///< absolute seqnum of next dequeue
     check::CoherenceChecker* checker_ = nullptr;
+    check::HbRaceDetector* hb_ = nullptr;
+    check::ProtocolChecker* protocol_ = nullptr;
+    sim::ActorId producer_actor_ = sim::kNoActor;
+    sim::ActorId consumer_actor_ = sim::kNoActor;
 };
 
 }  // namespace wave

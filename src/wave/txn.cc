@@ -2,6 +2,7 @@
 
 #include "check/coherence.h"
 #include "check/hooks.h"
+#include "check/protocol.h"
 
 namespace wave {
 
@@ -39,6 +40,14 @@ NicTxnEndpoint::TxnCreate(api::Bytes payload)
     // size comes from the storage the producer targets.
     staged_.push_back(FrameDecision(
         id, payload, decisions_.QueuePayloadSize()));
+    staged_ids_.push_back(id);
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            protocol_->OnTxnCreated(&decisions_.Queue(), id,
+                                    check::Domain::kNic,
+                                    "NicTxnEndpoint::TxnCreate");
+        }
+    });
     return id;
 }
 
@@ -48,6 +57,19 @@ NicTxnEndpoint::TxnsCommit(bool send_msix)
     const std::size_t sent = co_await decisions_.SendBatch(staged_);
     staged_.erase(staged_.begin(),
                   staged_.begin() + static_cast<std::ptrdiff_t>(sent));
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            for (std::size_t i = 0; i < sent; ++i) {
+                protocol_->OnTxnPublished(&decisions_.Queue(),
+                                          staged_ids_[i],
+                                          check::Domain::kNic,
+                                          "NicTxnEndpoint::TxnsCommit");
+            }
+        }
+    });
+    staged_ids_.erase(staged_ids_.begin(),
+                      staged_ids_.begin() +
+                          static_cast<std::ptrdiff_t>(sent));
     WAVE_CHECK_HOOK({
         if (auto* checker = decisions_.Queue().Dram().Checker();
             checker != nullptr && sent > 0) {
@@ -74,6 +96,14 @@ NicTxnEndpoint::PollTxnsOutcomes(std::size_t max)
                     sizeof(outcome.txn_id));
         std::memcpy(&outcome.status, record->data() + sizeof(api::TxnId),
                     sizeof(outcome.status));
+        WAVE_CHECK_HOOK({
+            if (protocol_ != nullptr) {
+                protocol_->OnTxnOutcomeObserved(
+                    &decisions_.Queue(), outcome.txn_id,
+                    check::Domain::kNic,
+                    "NicTxnEndpoint::PollTxnsOutcomes");
+            }
+        });
         out.push_back(outcome);
     }
     co_return out;
@@ -94,6 +124,13 @@ HostTxnEndpoint::PollTxns(bool flush_first)
     HostTxn txn;
     std::memcpy(&txn.id, slot->data(), sizeof(txn.id));
     txn.payload.assign(slot->begin() + TxnWire::kHeaderSize, slot->end());
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            protocol_->OnTxnDelivered(&decisions_.Queue(), txn.id,
+                                      check::Domain::kHost,
+                                      "HostTxnEndpoint::PollTxns");
+        }
+    });
     co_return txn;
 }
 
@@ -114,6 +151,16 @@ HostTxnEndpoint::SetTxnsOutcomes(const std::vector<api::TxnOutcome>& outs)
 {
     std::vector<api::Bytes> records;
     records.reserve(outs.size());
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            for (const api::TxnOutcome& outcome : outs) {
+                protocol_->OnTxnOutcome(&decisions_.Queue(),
+                                        outcome.txn_id,
+                                        check::Domain::kHost,
+                                        "HostTxnEndpoint::SetTxnsOutcomes");
+            }
+        }
+    });
     for (const api::TxnOutcome& outcome : outs) {
         api::Bytes record(outcomes_.QueuePayloadSize());
         std::memcpy(record.data(), &outcome.txn_id,

@@ -25,6 +25,10 @@
 #include "sim/task.h"
 #include "wave/api.h"
 
+namespace wave::check {
+class ProtocolChecker;
+}
+
 namespace wave {
 
 /** A decision delivered to the host: txn id + subsystem payload. */
@@ -74,12 +78,24 @@ class NicTxnEndpoint {
 
     std::size_t StagedCount() const { return staged_.size(); }
 
+    /**
+     * Attaches the protocol state-machine verifier. The lifecycle
+     * scope is the shared decision-queue storage, so the host endpoint
+     * of the same channel resolves to the same scope.
+     */
+    void AttachProtocol(check::ProtocolChecker* protocol)
+    {
+        protocol_ = protocol;
+    }
+
   private:
     channel::NicProducer& decisions_;
     channel::NicConsumer& outcomes_;
     pcie::MsiXVector* msix_;
     api::TxnId next_id_ = 1;
     std::vector<api::Bytes> staged_;  ///< already framed with txn ids
+    std::vector<api::TxnId> staged_ids_;  ///< parallel to staged_
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 /** Host-side transaction endpoint. */
@@ -113,10 +129,17 @@ class HostTxnEndpoint {
     /** Consumes a pending kick without blocking. */
     bool ConsumeKick();
 
+    /** Attaches the protocol verifier (see NicTxnEndpoint). */
+    void AttachProtocol(check::ProtocolChecker* protocol)
+    {
+        protocol_ = protocol;
+    }
+
   private:
     channel::HostConsumer& decisions_;
     channel::HostProducer& outcomes_;
     pcie::MsiXVector* msix_;
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 }  // namespace wave

@@ -1,5 +1,7 @@
 #include "wave/watchdog.h"
 
+#include "check/hooks.h"
+#include "check/protocol.h"
 #include "sim/trace.h"
 
 namespace wave {
@@ -21,7 +23,23 @@ Watchdog::Arm()
     armed_ = true;
     expired_ = false;
     last_decision_ = sim_.Now();
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            protocol_->OnWatchdogArmed(this, "Watchdog::Arm");
+        }
+    });
     sim_.Spawn(Monitor());
+}
+
+void
+Watchdog::NoteDecision()
+{
+    last_decision_ = sim_.Now();
+    WAVE_CHECK_HOOK({
+        if (protocol_ != nullptr) {
+            protocol_->OnWatchdogFed(this, "Watchdog::NoteDecision");
+        }
+    });
 }
 
 void
@@ -43,6 +61,14 @@ Watchdog::Monitor()
         if (sim_.Now() - last_decision_ > timeout_) {
             expired_ = true;
             armed_ = false;
+            // Record the expiry before on_expire_() so a synchronous
+            // restart-and-rearm reaction leaves the shadow armed again.
+            WAVE_CHECK_HOOK({
+                if (protocol_ != nullptr) {
+                    protocol_->OnWatchdogExpired(this,
+                                                 "Watchdog::Monitor");
+                }
+            });
             WAVE_TRACE_EVENT(&sim_, "watchdog",
                              "expired: no decision for %llu ns",
                              static_cast<unsigned long long>(

@@ -20,6 +20,10 @@
 #include "sim/task.h"
 #include "sim/time.h"
 
+namespace wave::check {
+class ProtocolChecker;
+}
+
 namespace wave {
 
 /** Host-side liveness monitor for one agent. */
@@ -42,9 +46,19 @@ class Watchdog {
     void Disarm();
 
     /** Records that the agent produced a decision. */
-    void NoteDecision() { last_decision_ = sim_.Now(); }
+    void NoteDecision();
 
     bool Expired() const { return expired_; }
+
+    /**
+     * Attaches the protocol verifier, which flags decisions accepted
+     * as liveness evidence after expiry but before a re-arm — i.e. the
+     * kill/fallback path of §3.3 was skipped.
+     */
+    void AttachProtocol(check::ProtocolChecker* protocol)
+    {
+        protocol_ = protocol;
+    }
 
   private:
     sim::Task<> Monitor();
@@ -57,6 +71,7 @@ class Watchdog {
     bool armed_ = false;
     bool expired_ = false;
     std::uint64_t generation_ = 0;  ///< invalidates stale monitor loops
+    check::ProtocolChecker* protocol_ = nullptr;
 };
 
 }  // namespace wave

@@ -7,6 +7,12 @@
  * torn reads (payload always matches the sequence number it carries),
  * and flow control never admits more than `capacity` unconsumed
  * entries.
+ *
+ * When built with WAVE_CHECK (the default), every fuzz run also uses
+ * the protocol state-machine verifier and the happens-before race
+ * detector as oracles: random interleavings must never produce a
+ * seqnum violation or an unordered conflicting access, no matter how
+ * the batches, stalls, and flush/prefetch mixes land.
  */
 #include <gtest/gtest.h>
 
@@ -18,6 +24,11 @@
 #include "pcie/config.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+
+#ifdef WAVE_CHECK_ENABLED
+#include "check/hb.h"
+#include "check/protocol.h"
+#endif
 
 namespace wave::channel {
 namespace {
@@ -85,6 +96,15 @@ TEST_P(MmioFuzzTest, HostToNicRandomInterleavings)
                           PteType::kWriteThrough);
     NicConsumer consumer(queue, PteType::kWriteBack);
 
+#ifdef WAVE_CHECK_ENABLED
+    check::ProtocolChecker protocol(sim);
+    check::HbRaceDetector hb(sim);
+    producer.BindCheckers(&hb, &protocol,
+                          hb.RegisterActor("fuzz-host-producer"));
+    consumer.BindCheckers(&hb, &protocol,
+                          hb.RegisterActor("fuzz-nic-consumer"));
+#endif
+
     bool producer_done = false;
     std::uint64_t received = 0;
 
@@ -131,6 +151,15 @@ TEST_P(MmioFuzzTest, HostToNicRandomInterleavings)
     sim.RunFor(1'000'000'000ull);  // plenty; ends when drained
     EXPECT_EQ(received, total) << "messages lost or duplicated";
     EXPECT_TRUE(producer_done);
+#ifdef WAVE_CHECK_ENABLED
+    for (const auto& v : protocol.Violations()) {
+        ADD_FAILURE() << v.Describe();
+    }
+    for (const auto& race : hb.Races()) {
+        ADD_FAILURE() << race.Describe();
+    }
+    EXPECT_EQ(protocol.Stats().stream_recvs, total);
+#endif
 }
 
 TEST_P(MmioFuzzTest, NicToHostWithRandomFlushPrefetchMix)
@@ -147,6 +176,15 @@ TEST_P(MmioFuzzTest, NicToHostWithRandomFlushPrefetchMix)
     NicProducer producer(queue, PteType::kWriteBack);
     HostConsumer consumer(queue, PteType::kWriteThrough,
                           PteType::kWriteCombining);
+
+#ifdef WAVE_CHECK_ENABLED
+    check::ProtocolChecker protocol(sim);
+    check::HbRaceDetector hb(sim);
+    producer.BindCheckers(&hb, &protocol,
+                          hb.RegisterActor("fuzz-nic-producer"));
+    consumer.BindCheckers(&hb, &protocol,
+                          hb.RegisterActor("fuzz-host-consumer"));
+#endif
 
     std::uint64_t received = 0;
 
@@ -195,6 +233,15 @@ TEST_P(MmioFuzzTest, NicToHostWithRandomFlushPrefetchMix)
     sim.RunFor(2'000'000'000ull);
     EXPECT_EQ(received, total)
         << "flush/prefetch mix lost or reordered decisions";
+#ifdef WAVE_CHECK_ENABLED
+    for (const auto& v : protocol.Violations()) {
+        ADD_FAILURE() << v.Describe();
+    }
+    for (const auto& race : hb.Races()) {
+        ADD_FAILURE() << race.Describe();
+    }
+    EXPECT_EQ(protocol.Stats().stream_recvs, total);
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -215,6 +262,11 @@ TEST_P(DmaFuzzTest, RandomBatchesSyncAndAsync)
                    QueueConfig{.capacity = 32,
                                .payload_size = 48,
                                .sync_interval = 4});
+
+#ifdef WAVE_CHECK_ENABLED
+    check::ProtocolChecker protocol(sim);
+    queue.AttachProtocol(&protocol);
+#endif
 
     std::uint64_t received = 0;
 
@@ -252,6 +304,12 @@ TEST_P(DmaFuzzTest, RandomBatchesSyncAndAsync)
 
     sim.RunFor(2'000'000'000ull);
     EXPECT_EQ(received, total);
+#ifdef WAVE_CHECK_ENABLED
+    for (const auto& v : protocol.Violations()) {
+        ADD_FAILURE() << v.Describe();
+    }
+    EXPECT_EQ(protocol.Stats().stream_recvs, total);
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DmaFuzzTest,

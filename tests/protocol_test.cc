@@ -1,0 +1,441 @@
+/**
+ * @file
+ * The protocol state-machine verifier (check/protocol.h).
+ *
+ * Three layers of coverage:
+ *
+ *   1. Hook-level seeded bugs: drive the checker directly with event
+ *      sequences that break one rule each — double commit, seqnum
+ *      regression, barrier skip, stale-view commit, phantom message,
+ *      outcome misuse — and pin down the reported kind plus the
+ *      two-site attribution (the tripping action AND the earlier
+ *      conflicting action).
+ *
+ *   2. Real-component seeded bugs: misuses the shipped endpoints the
+ *      way a buggy deployment would — two agents sharing one decision
+ *      queue, a host reporting an outcome twice, a watchdog whose
+ *      expiry is ignored — and checks the instrumentation already wired
+ *      into those components catches it without test-side hooks.
+ *
+ *   3. Clean end-to-end runs: a full enclave (both the offloaded Wave
+ *      transport and the on-host shm baseline) runs under the checker
+ *      with zero violations while the stats prove the hooks fired.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "check/protocol.h"
+#include "check/hb.h"
+#include "ghost/enclave.h"
+#include "machine/machine.h"
+#include "sched/fifo.h"
+#include "sim/simulator.h"
+#include "wave/runtime.h"
+#include "wave/txn.h"
+#include "wave/watchdog.h"
+
+namespace wave {
+namespace {
+
+using namespace sim::time_literals;
+using check::Domain;
+using check::ProtocolChecker;
+using check::ProtocolViolationKind;
+using check::TaskShadow;
+
+constexpr const void* kScope = &kScope;  // any stable address works
+
+// --- 1. Hook-level seeded bugs ---------------------------------------
+
+TEST(ProtocolChecker, CleanTxnLifecycleReportsNothing)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTxnCreated(kScope, 7, Domain::kNic, "create");
+    checker.OnTxnPublished(kScope, 7, Domain::kNic, "publish");
+    checker.OnTxnDelivered(kScope, 7, Domain::kHost, "deliver");
+    checker.OnTxnOutcome(kScope, 7, Domain::kHost, "outcome");
+    checker.OnTxnOutcomeObserved(kScope, 7, Domain::kNic, "observe");
+
+    EXPECT_TRUE(checker.Violations().empty());
+    EXPECT_EQ(checker.Stats().txns_created, 1u);
+    EXPECT_EQ(checker.Stats().outcomes_observed, 1u);
+}
+
+TEST(ProtocolChecker, DoubleCommitReportsBothSites)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTxnCreated(kScope, 7, Domain::kNic, "create");
+    checker.OnTxnPublished(kScope, 7, Domain::kNic, "first-commit");
+    checker.OnTxnPublished(kScope, 7, Domain::kNic, "second-commit");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kDoubleCommit);
+    EXPECT_STREQ(v.current.label, "second-commit");
+    EXPECT_STREQ(v.previous.label, "first-commit");
+    EXPECT_EQ(v.current.id, 7u);
+}
+
+TEST(ProtocolChecker, SeqnumRegressionReportsBothSites)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    for (std::uint64_t seq = 0; seq < 3; ++seq) {
+        checker.OnStreamSend(kScope, seq, Domain::kHost, "send");
+    }
+    checker.OnStreamRecv(kScope, 0, Domain::kNic, "recv-0");
+    checker.OnStreamRecv(kScope, 1, Domain::kNic, "recv-1");
+    // SEEDED BUG: the consumer re-reads an already-consumed slot — the
+    // agent would double-process message 0.
+    checker.OnStreamRecv(kScope, 0, Domain::kNic, "recv-again");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kSeqnumRegression);
+    EXPECT_STREQ(v.current.label, "recv-again");
+    EXPECT_STREQ(v.previous.label, "recv-1");
+}
+
+TEST(ProtocolChecker, BarrierSkipReportsGapThenResyncs)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    for (std::uint64_t seq = 0; seq < 4; ++seq) {
+        checker.OnStreamSend(kScope, seq, Domain::kHost, "send");
+    }
+    checker.OnStreamRecv(kScope, 0, Domain::kNic, "recv-0");
+    // SEEDED BUG: the consumer accepted seqnum 2 without 1 — a decision
+    // made now would skip the message barrier.
+    checker.OnStreamRecv(kScope, 2, Domain::kNic, "recv-skip");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kBarrierSkip);
+    EXPECT_STREQ(v.current.label, "recv-skip");
+    EXPECT_STREQ(v.previous.label, "recv-0");
+
+    // One gap, one report: the stream resyncs and continues clean.
+    checker.OnStreamRecv(kScope, 3, Domain::kNic, "recv-3");
+    EXPECT_EQ(checker.Violations().size(), 1u);
+}
+
+TEST(ProtocolChecker, PhantomMessageIsReported)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnStreamSend(kScope, 0, Domain::kHost, "send");
+    // SEEDED BUG: the consumer accepted a seqnum nobody ever sent (a
+    // stale generation flag read as valid).
+    checker.OnStreamRecv(kScope, 5, Domain::kNic, "recv-phantom");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    EXPECT_EQ(checker.Violations().front().kind,
+              ProtocolViolationKind::kPhantomMessage);
+}
+
+TEST(ProtocolChecker, StaleViewCommitReportsBothSites)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTaskState(kScope, 4, TaskShadow::kBlocked, "blocked-at");
+    // SEEDED BUG: the host reports kCommitted for a run decision whose
+    // target its own state machine says is blocked — the atomic commit
+    // should have failed this transaction.
+    checker.OnCommitDecision(kScope, /*txn_id=*/9, /*tid=*/4,
+                             /*run_decision=*/true, /*committed=*/true,
+                             "stale-commit");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kStaleViewCommit);
+    EXPECT_STREQ(v.current.label, "stale-commit");
+    EXPECT_STREQ(v.previous.label, "blocked-at");
+}
+
+TEST(ProtocolChecker, DoubleClaimIsReported)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTaskState(kScope, 4, TaskShadow::kRunnable, "wake");
+    checker.OnCommitDecision(kScope, 1, 4, true, true, "first-commit");
+    // SEEDED BUG: a second committed decision schedules the same thread
+    // while the checker's shadow still has it running.
+    checker.OnCommitDecision(kScope, 2, 4, true, true, "second-commit");
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kDoubleClaim);
+    EXPECT_STREQ(v.previous.label, "first-commit");
+}
+
+TEST(ProtocolChecker, IdleAndFailedCommitsAreNotValidated)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTaskState(kScope, 4, TaskShadow::kBlocked, "blocked-at");
+    checker.OnCommitDecision(kScope, 1, -1, /*run_decision=*/false,
+                             /*committed=*/true, "idle");
+    checker.OnCommitDecision(kScope, 2, 4, /*run_decision=*/true,
+                             /*committed=*/false, "failed");
+
+    EXPECT_TRUE(checker.Violations().empty());
+    EXPECT_EQ(checker.Stats().commits_checked, 2u);
+}
+
+TEST(ProtocolChecker, OutcomeMisuseIsReported)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    checker.OnTxnCreated(kScope, 7, Domain::kNic, "create");
+    checker.OnTxnPublished(kScope, 7, Domain::kNic, "publish");
+    // SEEDED BUG: outcome reported before the host ever polled the txn.
+    checker.OnTxnOutcome(kScope, 7, Domain::kHost, "early-outcome");
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    EXPECT_EQ(checker.Violations().front().kind,
+              ProtocolViolationKind::kOutcomeBeforeDelivery);
+
+    // SEEDED BUG: outcome for a txn id that was never created.
+    checker.OnTxnOutcome(kScope, 99, Domain::kHost, "phantom-outcome");
+    ASSERT_EQ(checker.Violations().size(), 2u);
+    EXPECT_EQ(checker.Violations().back().kind,
+              ProtocolViolationKind::kPhantomOutcome);
+}
+
+TEST(ProtocolChecker, IndependentScopesDoNotAlias)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+    const int scope_a = 0;
+    const int scope_b = 0;
+
+    // Same txn id and same seqnums on two different queues: fine.
+    checker.OnTxnCreated(&scope_a, 1, Domain::kNic, "a");
+    checker.OnTxnCreated(&scope_b, 1, Domain::kNic, "b");
+    checker.OnStreamSend(&scope_a, 0, Domain::kHost, "a");
+    checker.OnStreamSend(&scope_b, 0, Domain::kHost, "b");
+    checker.OnStreamRecv(&scope_a, 0, Domain::kNic, "a");
+    checker.OnStreamRecv(&scope_b, 0, Domain::kNic, "b");
+
+    EXPECT_TRUE(checker.Violations().empty());
+}
+
+// --- 2. Real-component seeded bugs -----------------------------------
+
+/** A machine with a Wave runtime whose checkers are on. */
+struct TxnWorld {
+    sim::Simulator sim;
+    machine::Machine machine{sim};
+    WaveRuntime runtime{sim, machine, pcie::PcieConfig{},
+                        api::OptimizationConfig::Full()};
+    NicToHostChannel decisions;
+    HostToNicChannel outcomes;
+
+    TxnWorld()
+    {
+        channel::QueueConfig qc;
+        qc.payload_size = 32;
+        decisions = runtime.CreateNicToHostQueue(qc);
+        outcomes = runtime.CreateHostToNicQueue(qc);
+    }
+
+    api::Bytes
+    Payload() const
+    {
+        return api::Bytes(8);
+    }
+};
+
+TEST(ProtocolChecker, TwoAgentsClaimingOneQueueAreReported)
+{
+    TxnWorld w;
+    // SEEDED BUG: two agent-side endpoints share one decision queue
+    // (e.g. a restarted agent whose predecessor was not fully killed).
+    // Both allocate txn ids from their own counter, so both claim id 1.
+    NicTxnEndpoint first(*w.decisions.nic, *w.outcomes.nic, nullptr);
+    NicTxnEndpoint second(*w.decisions.nic, *w.outcomes.nic, nullptr);
+    first.AttachProtocol(w.runtime.Protocol());
+    second.AttachProtocol(w.runtime.Protocol());
+
+    first.TxnCreate(w.Payload());
+    second.TxnCreate(w.Payload());
+
+    const auto& violations = w.runtime.Protocol()->Violations();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations.front().kind,
+              ProtocolViolationKind::kTxnClaimedTwice);
+    EXPECT_STREQ(violations.front().current.label,
+                 "NicTxnEndpoint::TxnCreate");
+    EXPECT_STREQ(violations.front().previous.label,
+                 "NicTxnEndpoint::TxnCreate");
+}
+
+sim::Task<>
+CommitAndReportTwice(NicTxnEndpoint& nic, HostTxnEndpoint& host,
+                     api::TxnId txn)
+{
+    co_await nic.TxnsCommit(/*send_msix=*/false);
+    auto delivered = co_await host.PollTxns(/*flush_first=*/true);
+    EXPECT_TRUE(delivered.has_value());
+    if (!delivered) co_return;
+    EXPECT_EQ(delivered->id, txn);
+    const std::vector<api::TxnOutcome> outcome{
+        {txn, api::TxnStatus::kCommitted}};
+    co_await host.SetTxnsOutcomes(outcome);
+    // SEEDED BUG: the host reports the same outcome again (e.g. a
+    // retry after a spurious kick).
+    co_await host.SetTxnsOutcomes(outcome);
+}
+
+TEST(ProtocolChecker, DuplicateOutcomeThroughRealEndpoints)
+{
+    TxnWorld w;
+    NicTxnEndpoint agent(*w.decisions.nic, *w.outcomes.nic, nullptr);
+    HostTxnEndpoint host(*w.decisions.host, *w.outcomes.host, nullptr);
+    agent.AttachProtocol(w.runtime.Protocol());
+    host.AttachProtocol(w.runtime.Protocol());
+
+    const api::TxnId id = agent.TxnCreate(w.Payload());
+    w.sim.Spawn(CommitAndReportTwice(agent, host, id));
+    w.sim.Run();
+
+    const auto& violations = w.runtime.Protocol()->Violations();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations.front().kind,
+              ProtocolViolationKind::kDuplicateOutcome);
+    EXPECT_STREQ(violations.front().current.label,
+                 "HostTxnEndpoint::SetTxnsOutcomes");
+}
+
+TEST(ProtocolChecker, CommitAfterWatchdogTimeoutIsReported)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    // SEEDED BUG: this watchdog's expiry reaction neither kills the
+    // agent nor falls back (§3.3) — it does nothing — so the agent's
+    // decisions keep being accepted as liveness evidence after expiry.
+    Watchdog dog(sim, /*timeout=*/1_ms, /*check_interval=*/100_us,
+                 /*on_expire=*/[] {});
+    dog.AttachProtocol(&checker);
+    dog.Arm();
+    sim.RunFor(5_ms);
+    ASSERT_TRUE(dog.Expired());
+
+    dog.NoteDecision();
+
+    ASSERT_EQ(checker.Violations().size(), 1u);
+    const auto& v = checker.Violations().front();
+    EXPECT_EQ(v.kind, ProtocolViolationKind::kCommitAfterTimeout);
+    EXPECT_STREQ(v.current.label, "Watchdog::NoteDecision");
+    EXPECT_STREQ(v.previous.label, "Watchdog::Monitor");
+}
+
+TEST(ProtocolChecker, RearmedWatchdogAcceptsDecisionsAgain)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+
+    Watchdog dog(sim, 1_ms, 100_us, [] {});
+    dog.AttachProtocol(&checker);
+    dog.Arm();
+    sim.RunFor(5_ms);
+    ASSERT_TRUE(dog.Expired());
+
+    // The proper §3.3 reaction: restart the agent, re-arm, move on.
+    dog.Arm();
+    dog.NoteDecision();
+
+    EXPECT_TRUE(checker.Violations().empty());
+    EXPECT_EQ(checker.Stats().watchdog_feeds, 1u);
+}
+
+// --- 3. Clean end-to-end runs ----------------------------------------
+
+/** Busy worker that yields after fixed work. */
+class Yielder : public ghost::ThreadBody {
+  public:
+    sim::Task<ghost::RunStop>
+    Run(ghost::RunContext& ctx) override
+    {
+        co_await ctx.interrupt.SleepInterruptible(5_us);
+        co_return ghost::RunStop::kYielded;
+    }
+};
+
+void
+RunCleanEnclave(bool offloaded)
+{
+    sim::Simulator sim;
+    machine::Machine machine(sim);
+    WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
+                        api::OptimizationConfig::Full());
+
+    ghost::EnclaveConfig config;
+    config.cores = {0, 1};
+    config.nic_core = 0;
+    config.offloaded = offloaded;
+    config.host_agent_core = 2;
+    config.policy_factory = [] {
+        return std::make_shared<sched::FifoPolicy>();
+    };
+    ghost::Enclave enclave(runtime, config);
+    for (ghost::Tid tid = 1; tid <= 4; ++tid) {
+        enclave.AddThread(tid, std::make_shared<Yielder>());
+    }
+    enclave.Start();
+    sim.RunFor(2_ms);
+
+    ProtocolChecker* protocol = runtime.Protocol();
+    ASSERT_NE(protocol, nullptr);
+    for (const auto& v : protocol->Violations()) {
+        ADD_FAILURE() << v.Describe();
+    }
+    // The run must actually have exercised the shadow machines.
+    EXPECT_GT(protocol->Stats().txns_created, 0u);
+    EXPECT_GT(protocol->Stats().outcomes_observed, 0u);
+    EXPECT_GT(protocol->Stats().stream_recvs, 0u);
+    EXPECT_GT(protocol->Stats().commits_checked, 0u);
+    EXPECT_GT(protocol->Stats().task_transitions, 0u);
+    EXPECT_GT(protocol->Stats().watchdog_feeds, 0u);
+
+    check::HbRaceDetector* hb = runtime.Hb();
+    ASSERT_NE(hb, nullptr);
+    for (const auto& race : hb->Races()) {
+        ADD_FAILURE() << race.Describe();
+    }
+    EXPECT_GT(hb->Stats().releases, 0u);
+    EXPECT_GT(hb->Stats().acquires, 0u);
+}
+
+TEST(ProtocolChecker, CleanEndToEndOffloaded) { RunCleanEnclave(true); }
+
+TEST(ProtocolChecker, CleanEndToEndOnHostShm) { RunCleanEnclave(false); }
+
+TEST(ProtocolChecker, FailFastPanicsOnFirstViolation)
+{
+    sim::Simulator sim;
+    ProtocolChecker checker(sim);
+    checker.SetFailFast(true);
+
+    checker.OnTxnCreated(kScope, 7, Domain::kNic, "create");
+    checker.OnTxnPublished(kScope, 7, Domain::kNic, "publish");
+    EXPECT_DEATH(
+        checker.OnTxnPublished(kScope, 7, Domain::kNic, "publish-again"),
+        "protocol violation");
+}
+
+}  // namespace
+}  // namespace wave

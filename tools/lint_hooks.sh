@@ -1,0 +1,125 @@
+#!/usr/bin/env sh
+# Repo-specific lint rules the compiler cannot enforce.
+#
+# Rule 1 — hook discipline: every call into the wave::check
+#   instrumentation API from model code (src/, excluding src/check/
+#   itself) must sit inside a WAVE_CHECK_HOOK(...) region or an
+#   `#ifdef WAVE_CHECK_ENABLED` block. A bare call would break the
+#   -DWAVE_CHECK=OFF build or, worse, silently keep checker work in
+#   measurement builds.
+#
+# Rule 2 — staleness annotations: every `/*tolerate_stale=*/` call-site
+#   annotation whose value is not the literal `false` must carry a
+#   same-line `//` comment justifying why the optimistic read is safe
+#   (e.g. "gen mismatch => retry"). Unexplained tolerance is how stale-
+#   read bugs get grandfathered in.
+#
+# Usage: tools/lint_hooks.sh [repo-root]     (exit 1 on any finding)
+
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+status=0
+
+# --- Rule 1: checker calls outside WAVE_CHECK_HOOK / #ifdef gates -----
+#
+# The method list mirrors the public entry points of coherence.h,
+# protocol.h, and hb.h plus the attach/bind helpers on model classes;
+# extend it when adding checker API. The `->`/`.` prefix keeps method
+# *declarations* (which have no receiver) out of scope.
+
+find src -name '*.cc' -o -name '*.h' | grep -v '^src/check/' | sort |
+while IFS= read -r file; do
+    awk '
+    function parens(s,   t, no, nc) {
+        t = s; no = gsub(/\(/, "", t)
+        t = s; nc = gsub(/\)/, "", t)
+        return no - nc
+    }
+    BEGIN {
+        hook = 0
+        depth = 0
+        call = "(->|\\.)[ \t]*(" \
+            "OnWrite|OnRead|OnCacheFill|OnCacheDrop|OnWcBuffered|" \
+            "OnWcDrained|OnDmaWrite|OnOrderingPoint|OnShmAccess|" \
+            "OnTxnCreated|OnTxnPublished|OnTxnDelivered|OnTxnOutcome|" \
+            "OnTxnOutcomeObserved|OnStreamSend|OnStreamRecv|" \
+            "OnTaskState|OnCommitDecision|OnWatchdogArmed|" \
+            "OnWatchdogExpired|OnWatchdogFed|" \
+            "OnAccess|OnRelease|OnAcquire|RegisterActor|AllowUnordered|" \
+            "AttachChecker|AttachCheckers|AttachProtocol|AttachHb|" \
+            "BindCheckers" \
+            ")[ \t]*\\("
+    }
+    {
+        # Conditional-compilation gate tracking.
+        if ($0 ~ /^[ \t]*#[ \t]*if/) {
+            depth += 1
+            gated[depth] = ($0 ~ /WAVE_CHECK_ENABLED/) ? 1 : 0
+        } else if ($0 ~ /^[ \t]*#[ \t]*el/) {
+            if (depth > 0) gated[depth] = ($0 ~ /WAVE_CHECK_ENABLED/)
+        } else if ($0 ~ /^[ \t]*#[ \t]*endif/) {
+            if (depth > 0) { gated[depth] = 0; depth -= 1 }
+        }
+        in_gate = 0
+        for (i = 1; i <= depth; i++) if (gated[i]) in_gate = 1
+
+        # WAVE_CHECK_HOOK(...) region tracking by paren balance.
+        in_hook = (hook > 0)
+        if ($0 ~ /WAVE_CHECK_HOOK/) {
+            in_hook = 1
+            hook += parens(substr($0, index($0, "WAVE_CHECK_HOOK")))
+        } else if (hook > 0) {
+            hook += parens($0)
+        }
+        if (hook < 0) hook = 0
+
+        if ($0 ~ call && !in_hook && !in_gate) {
+            printf "%s:%d: checker call outside WAVE_CHECK_HOOK: %s\n",
+                FILENAME, FNR, $0
+            found = 1
+        }
+    }
+    END { exit found ? 1 : 0 }
+    ' "$file" || echo FAIL
+done | {
+    out=$(cat)
+    if [ -n "$out" ]; then
+        printf '%s\n' "$out" | grep -v '^FAIL$'
+        exit 1
+    fi
+}
+[ $? -ne 0 ] && status=1
+
+# --- Rule 2: tolerate_stale annotations need a same-line reason -------
+
+find src -name '*.cc' -o -name '*.h' | sort |
+while IFS= read -r file; do
+    awk '
+    /\/\*[ \t]*tolerate_stale[ \t]*=[ \t]*\*\// {
+        rest = substr($0, index($0, "tolerate_stale"))
+        sub(/^tolerate_stale[ \t]*=[ \t]*\*\/[ \t]*/, "", rest)
+        if (rest ~ /^false[ \t]*[,)]/) next
+        if ($0 !~ /\/\//) {
+            printf "%s:%d: tolerate_stale without justification: %s\n",
+                FILENAME, FNR, $0
+            found = 1
+        }
+    }
+    END { exit found ? 1 : 0 }
+    ' "$file" || echo FAIL
+done | {
+    out=$(cat)
+    if [ -n "$out" ]; then
+        printf '%s\n' "$out" | grep -v '^FAIL$'
+        exit 1
+    fi
+}
+[ $? -ne 0 ] && status=1
+
+if [ "$status" -eq 0 ]; then
+    echo "lint_hooks: OK"
+fi
+exit "$status"
