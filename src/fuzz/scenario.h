@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fuzz scenarios: one fully-specified simulated deployment + workload +
+ * fault schedule, generated from a seed and replayable from a small
+ * text artifact.
+ *
+ * Every knob is an integer (fractions are permille) so the text
+ * round-trip is exact: LoadScenario(SaveScenario(s)) reproduces the
+ * same simulation bit for bit. The generator splits the base seed into
+ * named RNG streams (sim::StreamSeed) — "scenario" for topology and
+ * workload shape, "fault" for the fault schedule, "workload" for the
+ * load generator's arrival process — so adding or removing faults never
+ * perturbs the workload draws of the same seed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/inject.h"
+#include "sim/time.h"
+
+namespace wave::fuzz {
+
+/** One complete fuzz case. All fields integral; see file comment. */
+struct Scenario {
+    /** Base seed; the loadgen stream is derived from it by name. */
+    std::uint64_t seed = 1;
+
+    // --- Topology ---
+    std::uint64_t worker_cores = 4;        ///< host cores running workers
+    std::uint64_t num_workers = 16;        ///< worker thread pool size
+    std::uint64_t nic_speed_permille = 610; ///< NIC clock vs. host clock
+    std::uint64_t policy = 0;          ///< 0 fifo, 1 shinjuku, 2 mq-shinjuku
+    std::uint64_t opt_bits = 7;        ///< bit0 nic_wb, bit1 wc/wt, bit2 prestage
+    std::uint64_t prestage = 1;        ///< policy-level prestaging
+    std::uint64_t prestage_min_depth = 8;
+    std::uint64_t poll_mode = 0;       ///< host polls idle; agent skips kicks
+    std::uint64_t slice_us = 30;       ///< Shinjuku preemption slice
+    std::uint64_t upi_fabric = 0;      ///< 1 = PcieConfig::Upi() baseline
+
+    // --- PCIe perturbations (0 = keep the fabric baseline's value) ---
+    std::uint64_t mmio_read_ns = 0;
+    std::uint64_t posted_visibility_ns = 0;
+    std::uint64_t msix_end_to_end_ns = 0;
+    std::uint64_t dma_setup_ns = 0;
+
+    // --- Workload ---
+    std::uint64_t offered_rps = 100'000;
+    std::uint64_t get_permille = 1000;     ///< GET fraction of the KV mix
+    std::uint64_t get_service_ns = 10'000;
+    std::uint64_t range_service_ns = 200'000;
+    std::uint64_t warmup_ns = 2'000'000;
+    std::uint64_t measure_ns = 10'000'000;
+    std::uint64_t drain_ns = 40'000'000;   ///< post-arrival settle window
+
+    // --- Supervision / oracles ---
+    std::uint64_t watchdog_timeout_ns = 5'000'000;
+    std::uint64_t watchdog_check_ns = 500'000;
+    std::uint64_t require_progress = 1;    ///< liveness oracle armed
+
+    /** The fault schedule (empty = benign run). */
+    std::vector<sim::inject::FaultSpec> faults;
+};
+
+/** Knobs for the scenario generator. */
+struct GenLimits {
+    std::size_t max_faults = 4;
+
+    /**
+     * Include deliberately-buggy fault kinds (kDoubleCommitBug) in the
+     * draw. Off by default: the bug demo is opt-in so routine fuzzing
+     * exercises the model, not the planted defect.
+     */
+    bool enable_bug_faults = false;
+};
+
+/**
+ * Generates the scenario for @p seed. Deterministic: same (seed,
+ * limits) always yields the same scenario. Offered load is drawn below
+ * saturation so the liveness oracle (all requests complete during the
+ * drain window) is a true statement about a correct model.
+ */
+Scenario GenerateScenario(std::uint64_t seed, const GenLimits& limits = {});
+
+/** Renders the replay artifact (`key value` lines + `fault` lines). */
+std::string ScenarioToString(const Scenario& s);
+
+/**
+ * Parses a replay artifact. Returns false (and fills @p error) on
+ * malformed input; unknown keys are errors so artifact/version drift is
+ * loud rather than silently ignored.
+ */
+bool ScenarioFromString(const std::string& text, Scenario* out,
+                        std::string* error);
+
+/** Writes the artifact to @p path. Returns false on I/O failure. */
+bool SaveScenario(const Scenario& s, const std::string& path);
+
+/** Reads an artifact from @p path. */
+bool LoadScenario(const std::string& path, Scenario* out,
+                  std::string* error);
+
+}  // namespace wave::fuzz

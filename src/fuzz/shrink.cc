@@ -1,0 +1,180 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace wave::fuzz {
+
+namespace {
+
+using sim::inject::FaultSpec;
+
+/** Budgeted predicate: "does this scenario still fail?". */
+class Prober {
+  public:
+    explicit Prober(int budget) : budget_(budget) {}
+
+    bool
+    Fails(const Scenario& s, RunResult* out)
+    {
+        if (runs_ >= budget_) return false;  // out of budget: give up
+        ++runs_;
+        RunResult r = RunScenario(s);
+        const bool failing = !r.Ok();
+        if (failing && out != nullptr) *out = std::move(r);
+        return failing;
+    }
+
+    int Runs() const { return runs_; }
+    bool Exhausted() const { return runs_ >= budget_; }
+
+  private:
+    int budget_;
+    int runs_ = 0;
+};
+
+/**
+ * Classic ddmin over the fault list: try dropping chunks (then
+ * complements) at doubling granularity until 1-minimal — no single
+ * remaining fault can be removed without losing the failure.
+ */
+void
+DdminFaults(Scenario& best, RunResult& best_result, Prober& prober)
+{
+    std::size_t n = 2;
+    while (best.faults.size() >= 2 && !prober.Exhausted()) {
+        const std::size_t size = best.faults.size();
+        n = std::min(n, size);
+        const std::size_t chunk = (size + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t start = 0; start < size && !reduced;
+             start += chunk) {
+            // Candidate = everything except [start, start+chunk).
+            Scenario candidate = best;
+            candidate.faults.clear();
+            for (std::size_t i = 0; i < size; ++i) {
+                if (i >= start && i < start + chunk) continue;
+                candidate.faults.push_back(best.faults[i]);
+            }
+            if (candidate.faults.size() == size) continue;
+            RunResult r;
+            if (prober.Fails(candidate, &r)) {
+                best = std::move(candidate);
+                best_result = std::move(r);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+            }
+        }
+        if (!reduced) {
+            if (n >= size) break;  // 1-minimal
+            n = std::min(size, n * 2);
+        }
+    }
+    // A single remaining fault: check the empty schedule too (the
+    // failure may be fault-independent, e.g. a model bug).
+    if (best.faults.size() == 1 && !prober.Exhausted()) {
+        Scenario candidate = best;
+        candidate.faults.clear();
+        RunResult r;
+        if (prober.Fails(candidate, &r)) {
+            best = std::move(candidate);
+            best_result = std::move(r);
+        }
+    }
+}
+
+/** Halve durations/params per fault while the failure persists. */
+void
+SimplifyFaults(Scenario& best, RunResult& best_result, Prober& prober)
+{
+    for (std::size_t i = 0; i < best.faults.size(); ++i) {
+        for (int round = 0; round < 4 && !prober.Exhausted(); ++round) {
+            Scenario candidate = best;
+            FaultSpec& f = candidate.faults[i];
+            bool changed = false;
+            if (f.duration > 1000) {
+                f.duration /= 2;
+                changed = true;
+            }
+            if (f.param > 1) {
+                f.param /= 2;
+                changed = true;
+            }
+            if (!changed) break;
+            RunResult r;
+            if (!prober.Fails(candidate, &r)) break;
+            best = std::move(candidate);
+            best_result = std::move(r);
+        }
+    }
+}
+
+/** Try one whole-deployment mutation; keep it if still failing. */
+template <typename Mutate>
+void
+TryShrink(Scenario& best, RunResult& best_result, Prober& prober,
+          Mutate mutate)
+{
+    if (prober.Exhausted()) return;
+    Scenario candidate = best;
+    if (!mutate(candidate)) return;  // mutation not applicable
+    RunResult r;
+    if (prober.Fails(candidate, &r)) {
+        best = std::move(candidate);
+        best_result = std::move(r);
+    }
+}
+
+}  // namespace
+
+ShrinkOutcome
+Shrink(const Scenario& start, ShrinkOptions opts)
+{
+    ShrinkOutcome out;
+    out.scenario = start;
+
+    Prober prober(opts.max_runs);
+    if (!prober.Fails(start, &out.result)) {
+        out.runs = prober.Runs();
+        out.failing = false;
+        return out;
+    }
+    out.failing = true;
+
+    DdminFaults(out.scenario, out.result, prober);
+    SimplifyFaults(out.scenario, out.result, prober);
+
+    // Deployment shrinking: repeat the halving ladder until no rung
+    // holds, so e.g. num_workers can drop more than once.
+    bool progressed = true;
+    while (progressed && !prober.Exhausted()) {
+        const std::string before = ScenarioToString(out.scenario);
+        TryShrink(out.scenario, out.result, prober, [](Scenario& s) {
+            if (s.num_workers <= 2) return false;
+            s.num_workers = std::max<std::uint64_t>(2, s.num_workers / 2);
+            return true;
+        });
+        TryShrink(out.scenario, out.result, prober, [](Scenario& s) {
+            if (s.worker_cores <= 2) return false;
+            s.worker_cores = std::max<std::uint64_t>(2, s.worker_cores / 2);
+            s.num_workers = std::max(s.num_workers, s.worker_cores);
+            return true;
+        });
+        TryShrink(out.scenario, out.result, prober, [](Scenario& s) {
+            if (s.measure_ns <= 2'000'000) return false;
+            s.measure_ns /= 2;
+            return true;
+        });
+        TryShrink(out.scenario, out.result, prober, [](Scenario& s) {
+            if (s.offered_rps <= 10'000) return false;
+            s.offered_rps /= 2;
+            return true;
+        });
+        progressed = ScenarioToString(out.scenario) != before;
+    }
+
+    out.runs = prober.Runs();
+    return out;
+}
+
+}  // namespace wave::fuzz

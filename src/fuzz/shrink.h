@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Automatic repro shrinking: reduce a failing Scenario to a minimal
+ * replayable artifact.
+ *
+ * Three passes, each preserving "still fails at least one oracle":
+ *
+ *   1. ddmin over the fault schedule — drop subsets of faults at
+ *      doubling granularity until no single fault can be removed;
+ *   2. per-fault simplification — halve durations and parameters while
+ *      the failure persists;
+ *   3. deployment shrinking — halve worker pool, worker cores, measure
+ *      window, and offered load.
+ *
+ * Every candidate evaluation is one full simulation, so the total is
+ * bounded by ShrinkOptions::max_runs; the best (smallest) failing
+ * scenario found within budget is returned.
+ */
+#pragma once
+
+#include "fuzz/runner.h"
+#include "fuzz/scenario.h"
+
+namespace wave::fuzz {
+
+struct ShrinkOptions {
+    int max_runs = 200;  ///< simulation budget across all passes
+};
+
+struct ShrinkOutcome {
+    Scenario scenario;   ///< smallest failing scenario found
+    RunResult result;    ///< its run (failures preserved)
+    int runs = 0;        ///< simulations spent
+    bool failing = false;///< false if the input did not fail at all
+};
+
+/** Shrinks @p start (which should fail its oracles) within budget. */
+ShrinkOutcome Shrink(const Scenario& start, ShrinkOptions opts = {});
+
+}  // namespace wave::fuzz

@@ -25,6 +25,15 @@ sim::Task<>
 GhostAgent::Run(AgentContext& ctx)
 {
     while (!ctx.StopRequested()) {
+        if (ctx.StallUntil() > ctx.Sim().Now()) {
+            // Injected wedge: alive but not iterating. Sleep in short
+            // slices so a concurrent kill still takes effect promptly.
+            const sim::DurationNs remaining =
+                ctx.StallUntil() - ctx.Sim().Now();
+            co_await ctx.Sim().Delay(
+                std::min<sim::DurationNs>(remaining, 100'000));
+            continue;
+        }
         ++stats_.iterations;
         co_await HandleMessages(ctx);
         co_await HandleOutcomes(ctx);
@@ -108,24 +117,41 @@ GhostAgent::HandleOutcomes(AgentContext& ctx)
                     break;
                 }
             }
+            bool reactive = false;
+            if (!found) {
+                const auto it = reactive_.find(outcome.txn_id);
+                if (it != reactive_.end()) {
+                    decision = it->second;
+                    reactive_.erase(it);
+                    reactive = true;
+                }
+            }
             if (outcome.status == api::TxnStatus::kCommitted) {
                 if (found) {
                     model.running = decision.tid;
                     model.running_since = ctx.Sim().Now();
                 }
-                continue;
+                continue;  // reactive commits were adopted at issue time
             }
             ++stats_.failed_commits;
-            if (!found) {
-                // Already adopted optimistically: the host rejected what
-                // we thought was running. Repair the model.
+            if (!found && !reactive) {
+                // No record at all (e.g. a duplicate outcome): repair
+                // the model conservatively.
                 if (model.running != kNoThread) {
                     model.running = kNoThread;
                 }
                 model.needs_decision = true;
                 continue;
             }
-            policy_->OnDecisionFailed(decision);
+            // kFailedStale means the thread stopped being runnable
+            // concurrently (blocked/exited); its eventual wakeup message
+            // re-announces it, so requeueing here would duplicate it.
+            // kFailedRejected means the host refused the commit with the
+            // thread still runnable — no wakeup will ever come, so the
+            // agent must requeue or the thread is stranded.
+            if (!reactive || outcome.status == api::TxnStatus::kFailedRejected) {
+                policy_->OnDecisionFailed(decision);
+            }
             if (model.running == decision.tid) {
                 model.running = kNoThread;
             }
@@ -152,7 +178,9 @@ GhostAgent::IssueDecisions(AgentContext& ctx)
         model.needs_decision = false;
         model.running = decision->tid;
         model.running_since = ctx.Sim().Now();
-        (void)id;  // adopted immediately (kicked), no inflight record
+        // Adopted immediately, but keep the txn record so a failed
+        // commit can be matched back to its thread (see reactive_).
+        reactive_[id] = *decision;
     }
 }
 

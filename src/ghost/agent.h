@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ghost/policy.h"
@@ -124,6 +125,15 @@ class GhostAgent : public Agent {
     AgentConfig config_;
     AgentStats stats_;
     std::vector<CoreModel> cores_;  ///< indexed by host core id
+
+    /**
+     * Reactive (immediately-adopted) commits in flight, by txn id. In
+     * ghOSt the agent owns the txn structure, so it always knows which
+     * thread a failed commit was for; without this record a rejection
+     * whose thread is still runnable (host-side rejects, kFailedRejected)
+     * would drop the thread from the run queue forever.
+     */
+    std::unordered_map<api::TxnId, GhostDecision> reactive_;
 };
 
 }  // namespace wave::ghost

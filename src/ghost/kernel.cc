@@ -2,6 +2,7 @@
 
 #include "check/hooks.h"
 #include "check/protocol.h"
+#include "sim/inject.h"
 #include "sim/trace.h"
 
 #include <deque>
@@ -85,6 +86,15 @@ KernelSched::ReannounceThread(Tid tid)
 }
 
 void
+KernelSched::ReannounceAll()
+{
+    for (auto& [tid, rec] : threads_.All()) {
+        (void)rec;  // ReannounceThread re-checks runnability itself
+        ReannounceThread(tid);
+    }
+}
+
+void
 KernelSched::Start(const std::vector<int>& cores)
 {
     running_ = true;
@@ -124,6 +134,23 @@ KernelSched::CommitDecision(int core, const PendingDecision& pd)
         });
         co_await transport_.HostSendOutcome(
             core, {pd.txn_id, api::TxnStatus::kCommitted});
+        co_return nullptr;
+    }
+    if (injector_ != nullptr && injector_->ShouldFailCommit()) {
+        // Injected commit-failure burst: reject the transaction without
+        // touching thread state. The agent must requeue the thread and
+        // recover, exactly as for an organic stale-state failure.
+        ++stats_.commits_failed;
+        WAVE_CHECK_HOOK({
+            if (protocol_ != nullptr) {
+                protocol_->OnCommitDecision(
+                    this, pd.txn_id, pd.decision.tid,
+                    /*run_decision=*/true, /*committed=*/false,
+                    "KernelSched::CommitDecision[injected]");
+            }
+        });
+        co_await transport_.HostSendOutcome(
+            core, {pd.txn_id, api::TxnStatus::kFailedRejected});
         co_return nullptr;
     }
     ThreadRecord* rec = threads_.Find(pd.decision.tid);

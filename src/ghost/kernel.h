@@ -38,6 +38,10 @@ namespace wave::check {
 class ProtocolChecker;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave::ghost {
 
 /** Behaviour switches for the kernel loops. */
@@ -100,6 +104,15 @@ class KernelSched {
      */
     void ReannounceThread(Tid tid);
 
+    /**
+     * Re-announces every runnable thread. This is the recovery path of
+     * §3.3/§6: after the watchdog kills a wedged agent and a fresh
+     * agent (restart or on-host fallback) attaches, the kernel replays
+     * its runnable set so no thread is stranded in the dead agent's
+     * private run queue.
+     */
+    void ReannounceAll();
+
     /** Starts the per-core kernel loops on the given host cores. */
     void Start(const std::vector<int>& cores);
 
@@ -119,6 +132,18 @@ class KernelSched {
     void AttachProtocol(check::ProtocolChecker* protocol)
     {
         protocol_ = protocol;
+    }
+
+    /**
+     * Attaches the fault injector. During a commit-fail-burst window
+     * the kernel rejects every run-decision commit with
+     * TxnStatus::kFailedRejected — host state untouched, outcome
+     * reported — exercising the agent's repair/requeue path without
+     * inventing an illegal state transition.
+     */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
     }
 
   private:
@@ -144,6 +169,7 @@ class KernelSched {
     KernelStats stats_;
     bool running_ = false;
     check::ProtocolChecker* protocol_ = nullptr;
+    sim::inject::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace wave::ghost

@@ -73,6 +73,11 @@ WaveSchedTransport::WaveSchedTransport(WaveRuntime& runtime,
         // loop pays the receive cost when it handles it.
         CoreInterrupt* line = pc->interrupt.get();
         pc->msix->SetDeliveryHandler([line] { line->Raise(); });
+        // Fault-injection rigs attach their injector to the runtime
+        // before building the transport; the txn endpoint carries the
+        // double-commit-bug hook (MSI-X/DMA/MMIO hooks bind inside the
+        // runtime's factories).
+        pc->nic_txn->SetFaultInjector(runtime.Injector());
         WAVE_CHECK_HOOK({
             pc->nic_txn->AttachProtocol(runtime.Protocol());
             pc->host_txn->AttachProtocol(runtime.Protocol());

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "memmgr/address_space.h"
+#include "sim/inject.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "stats/histogram.h"
@@ -51,9 +52,15 @@ class SwapDevice {
         const sim::TimeNs start = sim_.Now();
         co_await channels_.Acquire();
         const auto bytes = static_cast<double>(pages * kPageSize);
-        co_await sim_.Delay(
+        sim::DurationNs duration =
             config_.op_latency_ns +
-            static_cast<sim::DurationNs>(bytes / config_.bytes_per_ns));
+            static_cast<sim::DurationNs>(bytes / config_.bytes_per_ns);
+        if (injector_ != nullptr) {
+            // Delay spike (e.g. device GC pause): queued behind the
+            // channel, so a spike inflates every waiter's latency.
+            duration += injector_->SwapExtraDelay();
+        }
+        co_await sim_.Delay(duration);
         channels_.Release();
         ++operations_;
         pages_moved_ += pages;
@@ -67,10 +74,17 @@ class SwapDevice {
     std::uint64_t PagesMoved() const { return pages_moved_; }
     const stats::Histogram& Latency() const { return latency_; }
 
+    /** Attaches the fault injector (swap-delay spike windows). */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     sim::Simulator& sim_;
     SwapConfig config_;
     sim::Resource channels_;
+    sim::inject::FaultInjector* injector_ = nullptr;
     std::uint64_t operations_ = 0;
     std::uint64_t pages_moved_ = 0;
     stats::Histogram latency_;

@@ -2,6 +2,7 @@
 
 #include "check/coherence.h"
 #include "check/hooks.h"
+#include "sim/inject.h"
 
 namespace wave::pcie {
 
@@ -46,7 +47,11 @@ DmaEngine::RunTransfer(std::shared_ptr<DmaCompletion> completion,
     co_await channel_.Acquire();
     ++transfers_;
     bytes_moved_ += n;
-    co_await sim_.Delay(TransferTime(n));
+    sim::DurationNs duration = TransferTime(n);
+    if (injector_ != nullptr) {
+        duration += injector_->DmaExtraDelay();
+    }
+    co_await sim_.Delay(duration);
     // Data lands atomically at completion time: the engine writes the
     // destination only after the full burst has crossed PCIe.
     std::vector<std::byte> buffer(n);

@@ -30,6 +30,10 @@ namespace wave::check {
 class CoherenceChecker;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave::pcie {
 
 /** Which side initiates (and therefore pays the doorbell for) a DMA. */
@@ -132,6 +136,18 @@ class DmaEngine {
         checker_ = checker;
     }
 
+    /**
+     * Attaches the fault injector; transfers then pay its extra
+     * completion delay while a dma-delay window is active. The data
+     * still lands atomically at (delayed) completion time, so delayed
+     * completions naturally reorder against younger MMIO traffic —
+     * exactly the hazard the checkers must tolerate or flag.
+     */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     sim::Task<> RunTransfer(std::shared_ptr<DmaCompletion> completion,
                             MemoryRegion& src, std::size_t src_offset,
@@ -144,6 +160,7 @@ class DmaEngine {
     std::function<void(MemoryRegion&, std::size_t, std::size_t)>
         write_observer_;
     check::CoherenceChecker* checker_ = nullptr;
+    sim::inject::FaultInjector* injector_ = nullptr;
     bool numa_local_ = true;
     std::uint64_t transfers_ = 0;
     std::uint64_t bytes_moved_ = 0;

@@ -5,6 +5,7 @@
 
 #include "check/coherence.h"
 #include "check/hooks.h"
+#include "sim/inject.h"
 
 namespace wave::pcie {
 
@@ -73,13 +74,21 @@ HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n,
     }
 }
 
+sim::DurationNs
+HostMmioMapping::ExtraPcieDelay() const
+{
+    auto* injector = dram_.Injector();
+    return injector != nullptr ? injector->MmioExtraDelay() : 0;
+}
+
 sim::Task<>
 HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
 {
     const std::size_t words = WordsIn(n);
     stats_.pcie_reads += words;
     co_await dram_.Sim().Delay(config_.mmio_read_ns *
-                               static_cast<sim::DurationNs>(words));
+                                   static_cast<sim::DurationNs>(words) +
+                               ExtraPcieDelay());
     dram_.Backing().ReadRaw(offset, dst, n);
     WAVE_CHECK_HOOK({
         if (auto* checker = dram_.Checker()) {
@@ -133,7 +142,8 @@ HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
         } else {
             // Demand miss: full roundtrip for the line.
             stats_.pcie_reads += 1;
-            co_await dram_.Sim().Delay(config_.mmio_read_ns);
+            co_await dram_.Sim().Delay(config_.mmio_read_ns +
+                                       ExtraPcieDelay());
         }
         // Snapshot the line's current contents into the host cache. Use
         // operator[] again: a clflush may have raced with the fill.
@@ -187,13 +197,19 @@ HostMmioMapping::PostStores(std::size_t offset, const void* src,
                             std::size_t n)
 {
     // Posted writes become visible in NIC DRAM after the one-way delay.
-    // Scheduling each burst with the same delay preserves PCIe's posted
-    // write ordering (the event queue is FIFO at equal timestamps).
+    // A constant delay alone preserves PCIe's posted write ordering (the
+    // event queue is FIFO at equal timestamps), but injected latency
+    // spikes vary it, so clamp each landing to the previous burst's
+    // visibility time: posted writes never reorder, they only bunch up.
     std::vector<std::byte> copy(n);
     std::memcpy(copy.data(), src, n);
-    dram_.Sim().Schedule(
-        config_.posted_visibility_ns,
-        [this, offset, data = std::move(copy)] {
+    const sim::TimeNs visible_at =
+        std::max(dram_.Sim().Now() + config_.posted_visibility_ns +
+                     ExtraPcieDelay(),
+                 last_posted_visible_);
+    last_posted_visible_ = visible_at;
+    dram_.Sim().ScheduleAt(
+        visible_at, [this, offset, data = std::move(copy)] {
             dram_.Backing().WriteRaw(offset, data.data(), data.size());
         });
 }
@@ -309,7 +325,7 @@ HostMmioMapping::Prefetch(std::size_t offset, std::size_t n)
         if (it != cache_.end()) continue;  // cached or already in flight
         CacheLine& cl = cache_[line];
         const sim::TimeNs fill_done =
-            dram_.Sim().Now() + config_.mmio_read_ns;
+            dram_.Sim().Now() + config_.mmio_read_ns + ExtraPcieDelay();
         cl.fill_done = fill_done;
         // Snapshot the line contents when the fill lands, so the data in
         // the host cache is as-of fill time even if read much later.

@@ -42,6 +42,10 @@ namespace wave::check {
 class CoherenceChecker;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave::pcie {
 
 /** Page-table-entry cache attribute for a mapping (§5.3.1). */
@@ -82,12 +86,24 @@ class NicDram {
     }
     check::CoherenceChecker* Checker() const { return checker_; }
 
+    /**
+     * Attaches the fault injector; host mappings over this DRAM then
+     * pay its extra MMIO delay on every PCIe roundtrip and posted-
+     * visibility hop (latency-spike windows). Pass nullptr to detach.
+     */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+    sim::inject::FaultInjector* Injector() const { return injector_; }
+
   private:
     sim::Simulator& sim_;
     PcieConfig config_;
     MemoryRegion backing_;
     std::vector<HostMmioMapping*> host_mappings_;
     check::CoherenceChecker* checker_ = nullptr;
+    sim::inject::FaultInjector* injector_ = nullptr;
 };
 
 /** Access statistics for assertions and bench reporting. */
@@ -163,6 +179,9 @@ class HostMmioMapping {
     sim::Task<> ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
                              bool tolerate_stale);
 
+    /** Injected extra latency per PCIe hop (0 without an injector). */
+    sim::DurationNs ExtraPcieDelay() const;
+
     /** Issues the posted stores for [offset, n) (visibility-delayed). */
     void PostStores(std::size_t offset, const void* src, std::size_t n);
 
@@ -179,6 +198,13 @@ class HostMmioMapping {
 
     // WT line cache, keyed by line index.
     std::map<std::size_t, CacheLine> cache_;
+
+    /**
+     * Visibility time of the last posted burst. Injected latency spikes
+     * vary the posted delay, so landings are clamped to never precede
+     * an older burst — PCIe posted writes cannot reorder.
+     */
+    sim::TimeNs last_posted_visible_ = 0;
 
     // Write-combining buffer: at most one line being combined.
     bool wc_active_ = false;

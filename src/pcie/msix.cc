@@ -3,6 +3,7 @@
 #include "check/coherence.h"
 #include "check/hb.h"
 #include "check/hooks.h"
+#include "sim/inject.h"
 
 namespace wave::pcie {
 
@@ -13,12 +14,23 @@ MsiXVector::Send(SendPath path)
     const sim::DurationNs send_cost = path == SendPath::kRegisterWrite
                                           ? config_.msix_send_ns
                                           : config_.msix_send_ioctl_ns;
+    if (injector_ != nullptr && injector_->ShouldDropMsix()) {
+        // Lost in flight: the sender still pays the register write, but
+        // the pending bit never latches at the host. Recovery is the
+        // receiver's problem (polling, watchdog).
+        ++drops_;
+        co_await sim_.Delay(send_cost);
+        co_return;
+    }
     // The end-to-end latency covers send initiation through handler
     // entry; the wire portion is what remains after subtracting the
     // sender and receiver CPU costs.
-    const sim::DurationNs wire = config_.msix_end_to_end_ns -
-                                 config_.msix_send_ns -
-                                 config_.msix_receive_ns;
+    sim::DurationNs wire = config_.msix_end_to_end_ns -
+                           config_.msix_send_ns -
+                           config_.msix_receive_ns;
+    if (injector_ != nullptr) {
+        wire += injector_->MsixExtraDelay();
+    }
     // The send is the release half of the interrupt's HB edge; the
     // acquire fires at delivery below.
     WAVE_CHECK_HOOK({

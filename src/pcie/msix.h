@@ -29,6 +29,10 @@ class CoherenceChecker;
 class HbRaceDetector;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave::pcie {
 
 /** One MSI-X vector targeting one host core. */
@@ -80,6 +84,17 @@ class MsiXVector {
     }
 
     std::uint64_t SendCount() const { return sends_; }
+    std::uint64_t DroppedCount() const { return drops_; }
+
+    /**
+     * Attaches the fault injector; sends then consult it for extra
+     * wire delay and for drops (the interrupt is lost in flight: the
+     * sender pays its cost but the pending bit never latches).
+     */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
 
     /**
      * Attaches the wave::check coherence checker; deliveries are then
@@ -109,6 +124,7 @@ class MsiXVector {
     PcieConfig config_;
     sim::Signal arrival_;
     std::function<void()> delivery_handler_;
+    sim::inject::FaultInjector* injector_ = nullptr;
     check::CoherenceChecker* checker_ = nullptr;
     check::HbRaceDetector* hb_ = nullptr;
     sim::ActorId hb_sender_ = sim::kNoActor;
@@ -116,6 +132,7 @@ class MsiXVector {
     bool pending_ = false;
     bool masked_ = false;
     std::uint64_t sends_ = 0;
+    std::uint64_t drops_ = 0;
 };
 
 }  // namespace wave::pcie

@@ -1,0 +1,148 @@
+#include "sim/inject.h"
+
+#include "sim/logging.h"
+
+namespace wave::sim::inject {
+
+namespace {
+
+/**
+ * Tie-break key prefix for injector-scheduled action events. Keyed
+ * scheduling folds the key (not the insertion sequence) into the event
+ * fingerprint, so replaying the same schedule hashes identically no
+ * matter what else was queued at the same instant.
+ */
+constexpr std::uint64_t kActionKeyPrefix = 0xFA17ull << 48;
+
+bool
+IsActionFault(FaultKind kind)
+{
+    return kind == FaultKind::kAgentStall ||
+           kind == FaultKind::kAgentCrash ||
+           kind == FaultKind::kNicSlowdown;
+}
+
+}  // namespace
+
+const char*
+FaultKindName(FaultKind kind)
+{
+    switch (kind) {
+        case FaultKind::kAgentStall: return "agent-stall";
+        case FaultKind::kAgentCrash: return "agent-crash";
+        case FaultKind::kMsixDelay: return "msix-delay";
+        case FaultKind::kMsixDrop: return "msix-drop";
+        case FaultKind::kDmaDelay: return "dma-delay";
+        case FaultKind::kMmioDelay: return "mmio-delay";
+        case FaultKind::kCommitFailBurst: return "commit-fail-burst";
+        case FaultKind::kNicSlowdown: return "nic-slowdown";
+        case FaultKind::kSwapDelay: return "swap-delay";
+        case FaultKind::kDoubleCommitBug: return "double-commit-bug";
+    }
+    return "unknown";
+}
+
+void
+FaultInjector::Arm(std::vector<FaultSpec> schedule)
+{
+    schedule_ = std::move(schedule);
+    fired_.assign(schedule_.size(), false);
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        const FaultSpec& spec = schedule_[i];
+        if (!IsActionFault(spec.kind)) continue;
+        WAVE_ASSERT(action_handler_ != nullptr,
+                    "action fault %s scheduled with no handler",
+                    FaultKindName(spec.kind));
+        WAVE_ASSERT(spec.at >= sim_.Now(),
+                    "fault window starts in the past");
+        const std::uint64_t key = kActionKeyPrefix | (2 * i);
+        sim_.ScheduleAtKeyed(spec.at, key, [this, i] {
+            ++stats_.actions;
+            action_handler_(schedule_[i], /*begin=*/true);
+        });
+        if (spec.kind == FaultKind::kNicSlowdown && spec.duration > 0) {
+            sim_.ScheduleAtKeyed(spec.at + spec.duration, key | 1,
+                                 [this, i] {
+                                     action_handler_(schedule_[i],
+                                                     /*begin=*/false);
+                                 });
+        }
+    }
+}
+
+const FaultSpec*
+FaultInjector::ActiveWindow(FaultKind kind) const
+{
+    const TimeNs now = sim_.Now();
+    for (const FaultSpec& spec : schedule_) {
+        if (spec.kind != kind) continue;
+        if (now >= spec.at && now < spec.at + spec.duration) return &spec;
+    }
+    return nullptr;
+}
+
+DurationNs
+FaultInjector::MsixExtraDelay()
+{
+    const FaultSpec* spec = ActiveWindow(FaultKind::kMsixDelay);
+    if (spec == nullptr) return 0;
+    ++stats_.msix_delays;
+    return static_cast<DurationNs>(spec->param);
+}
+
+bool
+FaultInjector::ShouldDropMsix()
+{
+    if (ActiveWindow(FaultKind::kMsixDrop) == nullptr) return false;
+    ++stats_.msix_drops;
+    return true;
+}
+
+DurationNs
+FaultInjector::DmaExtraDelay()
+{
+    const FaultSpec* spec = ActiveWindow(FaultKind::kDmaDelay);
+    if (spec == nullptr) return 0;
+    ++stats_.dma_delays;
+    return static_cast<DurationNs>(spec->param);
+}
+
+DurationNs
+FaultInjector::MmioExtraDelay()
+{
+    const FaultSpec* spec = ActiveWindow(FaultKind::kMmioDelay);
+    if (spec == nullptr) return 0;
+    ++stats_.mmio_delays;
+    return static_cast<DurationNs>(spec->param);
+}
+
+bool
+FaultInjector::ShouldFailCommit()
+{
+    if (ActiveWindow(FaultKind::kCommitFailBurst) == nullptr) return false;
+    ++stats_.commit_fails;
+    return true;
+}
+
+DurationNs
+FaultInjector::SwapExtraDelay()
+{
+    const FaultSpec* spec = ActiveWindow(FaultKind::kSwapDelay);
+    if (spec == nullptr) return 0;
+    ++stats_.swap_delays;
+    return static_cast<DurationNs>(spec->param);
+}
+
+bool
+FaultInjector::ShouldDoubleCommit()
+{
+    const FaultSpec* spec = ActiveWindow(FaultKind::kDoubleCommitBug);
+    if (spec == nullptr) return false;
+    const auto index = static_cast<std::size_t>(spec - schedule_.data());
+    if (fired_[index]) return false;
+    fired_[index] = true;
+    ++stats_.double_commits;
+    return true;
+}
+
+}  // namespace wave::sim::inject

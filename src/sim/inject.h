@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic fault injection for simulation runs (sim::inject).
+ *
+ * A FaultInjector holds a fixed schedule of fault windows, resolved
+ * entirely at schedule-construction time (no RNG draws at query time).
+ * Model components consult it at their natural hook points:
+ *
+ *   - pcie::MsiXVector      -> MsixExtraDelay() / ShouldDropMsix()
+ *   - pcie::DmaEngine       -> DmaExtraDelay()
+ *   - pcie::HostMmioMapping -> MmioExtraDelay() (PCIe latency spikes)
+ *   - ghost::KernelSched    -> ShouldFailCommit() (commit-fail bursts)
+ *   - wave::NicTxnEndpoint  -> ShouldDoubleCommit() (seeded-bug demo)
+ *   - memmgr::SwapDevice    -> SwapExtraDelay() (device delay spikes)
+ *
+ * Point faults that act on the deployment rather than the fabric
+ * (agent crash/stall, NIC clock slowdown) are delivered through an
+ * action handler the harness registers; the injector schedules those
+ * actions on the simulator with a distinctive tie-break key so an
+ * armed-but-empty schedule leaves the event fingerprint untouched.
+ *
+ * Every query is a pure function of (schedule, Now()), so two runs of
+ * the same scenario produce bit-identical event streams — the property
+ * the determinism-fingerprint oracle relies on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace wave::sim::inject {
+
+/** What a fault does. See FaultSpec::param for the per-kind knob. */
+enum class FaultKind : std::uint32_t {
+    kAgentStall,      ///< action: wedge the agent loop for `duration`
+    kAgentCrash,      ///< action: KILL_WAVE_AGENT at `at`
+    kMsixDelay,       ///< window: +param ns on every MSI-X wire trip
+    kMsixDrop,        ///< window: MSI-X sends are lost (pending never set)
+    kDmaDelay,        ///< window: +param ns on every DMA transfer
+    kMmioDelay,       ///< window: +param ns per MMIO roundtrip/visibility
+    kCommitFailBurst, ///< window: host rejects run-decision commits
+    kNicSlowdown,     ///< action window: NIC clock scaled by param/1000
+    kSwapDelay,       ///< window: +param ns per swap-device operation
+    kDoubleCommitBug, ///< window: agent re-publishes a committed txn id
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/** One scheduled fault: a window [at, at+duration) plus a knob. */
+struct FaultSpec {
+    FaultKind kind = FaultKind::kMsixDelay;
+    TimeNs at = 0;           ///< window start (virtual time)
+    DurationNs duration = 0; ///< window length; 0 = point fault
+    std::uint64_t param = 0; ///< kind-specific (ns of delay, permille, ...)
+};
+
+/** Per-kind hit counters, for tests and fuzz reports. */
+struct InjectStats {
+    std::uint64_t msix_delays = 0;
+    std::uint64_t msix_drops = 0;
+    std::uint64_t dma_delays = 0;
+    std::uint64_t mmio_delays = 0;
+    std::uint64_t commit_fails = 0;
+    std::uint64_t swap_delays = 0;
+    std::uint64_t double_commits = 0;
+    std::uint64_t actions = 0;
+};
+
+/** Deterministic, window-based fault injector. */
+class FaultInjector {
+  public:
+    explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+
+    /**
+     * Handler for action faults (kAgentStall / kAgentCrash /
+     * kNicSlowdown). Called at the window start with begin=true and —
+     * for kNicSlowdown — again at the window end with begin=false.
+     * Must be registered before Arm() schedules any action fault.
+     */
+    using ActionHandler = std::function<void(const FaultSpec&, bool begin)>;
+    void SetActionHandler(ActionHandler handler)
+    {
+        action_handler_ = std::move(handler);
+    }
+
+    /**
+     * Installs the schedule and queues the action faults. Window faults
+     * need no events: queries below scan the schedule at Now(). Arming
+     * an empty schedule is a no-op by construction, which is what keeps
+     * the no-fault fingerprint identical with and without an injector.
+     */
+    void Arm(std::vector<FaultSpec> schedule);
+
+    // --- Window queries (pure; consume no randomness) ---
+
+    /** Extra wire delay for an MSI-X sent now. */
+    DurationNs MsixExtraDelay();
+
+    /** True if an MSI-X sent now is lost on the wire. */
+    bool ShouldDropMsix();
+
+    /** Extra latency for a DMA transfer running now. */
+    DurationNs DmaExtraDelay();
+
+    /** Extra latency per MMIO roundtrip / posted-visibility hop now. */
+    DurationNs MmioExtraDelay();
+
+    /** True if the host must reject a run-decision commit now. */
+    bool ShouldFailCommit();
+
+    /** Extra latency per swap-device operation now. */
+    DurationNs SwapExtraDelay();
+
+    /**
+     * True if the agent should re-publish the txn it just committed
+     * (the deliberate protocol bug the fuzz rig must catch). Fires at
+     * most once per overlapping window.
+     */
+    bool ShouldDoubleCommit();
+
+    const InjectStats& Stats() const { return stats_; }
+    const std::vector<FaultSpec>& Schedule() const { return schedule_; }
+
+  private:
+    /** First active window of @p kind at Now(), or nullptr. */
+    const FaultSpec* ActiveWindow(FaultKind kind) const;
+
+    Simulator& sim_;
+    std::vector<FaultSpec> schedule_;
+    std::vector<bool> fired_;  ///< one-shot latch per schedule entry
+    ActionHandler action_handler_;
+    InjectStats stats_;
+};
+
+}  // namespace wave::sim::inject

@@ -28,6 +28,21 @@ SplitMix64(std::uint64_t& x)
 
 }  // namespace
 
+std::uint64_t
+StreamSeed(std::uint64_t base_seed, const char* stream)
+{
+    // FNV-1a over the stream name, folded into the base seed, then one
+    // splitmix64 finalization round so nearby base seeds and similar
+    // names still land far apart in seed space.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const char* p = stream; *p != '\0'; ++p) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p));
+        h *= 0x100000001B3ull;
+    }
+    std::uint64_t x = base_seed ^ h;
+    return SplitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;

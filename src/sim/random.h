@@ -15,6 +15,18 @@
 
 namespace wave::sim {
 
+/**
+ * Derives an independent seed for a named RNG stream from a base seed.
+ *
+ * Simulations that need several sources of randomness (workload
+ * arrivals, fault schedules, scenario shapes) must not share one Rng:
+ * a consumer added to a shared stream shifts every later draw and
+ * silently perturbs unrelated behaviour. Instead, each concern seeds
+ * its own Rng from StreamSeed(base, "name") — adding or removing one
+ * stream leaves every other stream's draws bit-identical.
+ */
+std::uint64_t StreamSeed(std::uint64_t base_seed, const char* stream);
+
 /** xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state. */
 class Rng {
   public:

@@ -1,9 +1,12 @@
 #include "wave/runtime.h"
 
+#include <algorithm>
+
 #include "check/coherence.h"
 #include "check/hb.h"
 #include "check/hooks.h"
 #include "check/protocol.h"
+#include "sim/inject.h"
 
 namespace wave {
 
@@ -137,7 +140,16 @@ WaveRuntime::CreateMsiXVector()
 {
     auto vector = std::make_unique<pcie::MsiXVector>(sim_, pcie_config_);
     WAVE_CHECK_HOOK(vector->AttachChecker(checker_.get()));
+    vector->SetFaultInjector(injector_);
     return vector;
+}
+
+void
+WaveRuntime::AttachInjector(sim::inject::FaultInjector* injector)
+{
+    injector_ = injector;
+    dram_->SetFaultInjector(injector);
+    dma_->SetFaultInjector(injector);
 }
 
 AgentId
@@ -169,6 +181,14 @@ WaveRuntime::KillWaveAgent(AgentId id)
 {
     WAVE_ASSERT(id < agents_.size());
     agents_[id].ctx->stop_ = true;
+}
+
+void
+WaveRuntime::StallWaveAgent(AgentId id, sim::DurationNs duration)
+{
+    WAVE_ASSERT(id < agents_.size());
+    AgentContext& ctx = *agents_[id].ctx;
+    ctx.stall_until_ = std::max(ctx.stall_until_, sim_.Now() + duration);
 }
 
 bool

@@ -30,6 +30,10 @@ class HbRaceDetector;
 class ProtocolChecker;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave {
 
 /** A host->NIC MMIO message channel (SEND_MESSAGES / POLL_MESSAGES). */
@@ -78,11 +82,20 @@ class AgentContext {
     /** True once KILL_WAVE_AGENT was issued; the agent must return. */
     bool StopRequested() const { return stop_; }
 
+    /**
+     * While Now() < StallUntil() the agent is wedged: alive but making
+     * no progress (a hung core, a runaway GC pause). Agent loops honour
+     * this by idling instead of iterating — which is exactly the state
+     * the watchdog exists to detect.
+     */
+    sim::TimeNs StallUntil() const { return stall_until_; }
+
   private:
     friend class WaveRuntime;
     sim::Simulator& sim_;
     machine::Cpu& cpu_;
     bool stop_ = false;
+    sim::TimeNs stall_until_ = 0;
 };
 
 /** Handle returned by StartWaveAgent. */
@@ -127,6 +140,13 @@ class WaveRuntime {
     /** Requests the agent stop; it exits at its next poll. */
     void KillWaveAgent(AgentId id);
 
+    /**
+     * Wedges the agent for @p duration: it stays alive but stops
+     * iterating (fault injection for watchdog coverage). Extending an
+     * active stall takes the later deadline.
+     */
+    void StallWaveAgent(AgentId id, sim::DurationNs duration);
+
     /** True while the agent's Run() has not returned. */
     bool AgentAlive(AgentId id) const;
 
@@ -161,6 +181,18 @@ class WaveRuntime {
     sim::Simulator& Sim() { return sim_; }
     const pcie::PcieConfig& PcieCfg() const { return pcie_config_; }
 
+    /**
+     * Wires a fault injector into this runtime's fabric: the NIC DRAM
+     * window (MMIO latency spikes), the DMA engine, and every MSI-X
+     * vector created afterwards. Transports built over this runtime
+     * additionally bind their txn endpoints. Call before constructing
+     * the transport; pass nullptr to detach from future creations.
+     */
+    void AttachInjector(sim::inject::FaultInjector* injector);
+
+    /** The attached fault injector, or nullptr. */
+    sim::inject::FaultInjector* Injector() const { return injector_; }
+
     /** PTE type NIC agents use for local queue access. */
     pcie::PteType
     NicPte() const
@@ -189,6 +221,7 @@ class WaveRuntime {
     std::unique_ptr<check::CoherenceChecker> checker_;  ///< may be null
     std::unique_ptr<check::ProtocolChecker> protocol_;  ///< may be null
     std::unique_ptr<check::HbRaceDetector> hb_;         ///< may be null
+    sim::inject::FaultInjector* injector_ = nullptr;    ///< not owned
     std::size_t dram_bump_ = 0;
     std::vector<AgentSlot> agents_;
 };

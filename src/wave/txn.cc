@@ -3,6 +3,7 @@
 #include "check/coherence.h"
 #include "check/hooks.h"
 #include "check/protocol.h"
+#include "sim/inject.h"
 
 namespace wave {
 
@@ -55,6 +56,17 @@ sim::Task<std::size_t>
 NicTxnEndpoint::TxnsCommit(bool send_msix)
 {
     const std::size_t sent = co_await decisions_.SendBatch(staged_);
+    // Injected double-commit bug: capture the first record just sent so
+    // it can be re-published below under the same transaction id.
+    api::Bytes dup_record;
+    api::TxnId dup_id = 0;
+    bool dup = false;
+    if (injector_ != nullptr && sent > 0 &&
+        injector_->ShouldDoubleCommit()) {
+        dup = true;
+        dup_record = staged_.front();
+        dup_id = staged_ids_.front();
+    }
     staged_.erase(staged_.begin(),
                   staged_.begin() + static_cast<std::ptrdiff_t>(sent));
     WAVE_CHECK_HOOK({
@@ -76,6 +88,20 @@ NicTxnEndpoint::TxnsCommit(bool send_msix)
             checker->OnOrderingPoint("txn-commit");
         }
     });
+    if (dup) {
+        // The bug on the wire: the same transaction id enters the
+        // decision queue twice. The host will deliver, commit, and
+        // report it twice — the protocol checker must flag every step.
+        const bool resent = co_await decisions_.Send(dup_record);
+        WAVE_CHECK_HOOK({
+            if (resent && protocol_ != nullptr) {
+                protocol_->OnTxnPublished(&decisions_.Queue(), dup_id,
+                                          check::Domain::kNic,
+                                          "NicTxnEndpoint::TxnsCommit[dup]");
+            }
+        });
+        (void)resent;
+    }
     if (send_msix && sent > 0) {
         WAVE_ASSERT(msix_ != nullptr,
                     "TxnsCommit(send_msix) on an endpoint with no vector");

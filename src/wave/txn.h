@@ -29,6 +29,10 @@ namespace wave::check {
 class ProtocolChecker;
 }
 
+namespace wave::sim::inject {
+class FaultInjector;
+}
+
 namespace wave {
 
 /** A decision delivered to the host: txn id + subsystem payload. */
@@ -88,6 +92,17 @@ class NicTxnEndpoint {
         protocol_ = protocol;
     }
 
+    /**
+     * Attaches the fault injector. During a double-commit-bug window
+     * TxnsCommit() re-publishes the first record it just sent under
+     * the same transaction id — the deliberate protocol violation the
+     * fuzz rig's seeded-bug demo must detect and shrink to.
+     */
+    void SetFaultInjector(sim::inject::FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     channel::NicProducer& decisions_;
     channel::NicConsumer& outcomes_;
@@ -96,6 +111,7 @@ class NicTxnEndpoint {
     std::vector<api::Bytes> staged_;  ///< already framed with txn ids
     std::vector<api::TxnId> staged_ids_;  ///< parallel to staged_
     check::ProtocolChecker* protocol_ = nullptr;
+    sim::inject::FaultInjector* injector_ = nullptr;
 };
 
 /** Host-side transaction endpoint. */

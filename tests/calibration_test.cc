@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-value assertions for the calibration constants.
+ *
+ * Every latency and bandwidth number in the models traces back to the
+ * paper's measurements (Table 2 PCIe costs, Table 3 scheduling costs,
+ * §7.3.3 UPI preset, §7.4 SOL speed ratio, Figure 5 turbo curves).
+ * EXPERIMENTS.md quantities are only comparable to the paper while
+ * these stay put, so any drift must be a deliberate, reviewed change —
+ * this suite turns silent drift into a tier-1 test failure.
+ */
+#include <gtest/gtest.h>
+
+#include "ghost/costs.h"
+#include "machine/machine.h"
+#include "machine/turbo.h"
+#include "memmgr/swap_device.h"
+#include "pcie/config.h"
+
+namespace wave {
+namespace {
+
+TEST(Calibration, PcieTable2Defaults)
+{
+    const pcie::PcieConfig cfg;
+    EXPECT_EQ(cfg.mmio_read_ns, 750);
+    EXPECT_EQ(cfg.mmio_write_ns, 50);
+    EXPECT_EQ(cfg.posted_visibility_ns, 400);
+    EXPECT_EQ(cfg.wc_store_ns, 2);
+    EXPECT_EQ(cfg.sfence_ns, 60);
+    EXPECT_EQ(cfg.cache_hit_ns, 2);
+    EXPECT_EQ(cfg.clflush_ns, 40);
+    EXPECT_EQ(cfg.nic_uncached_access_ns, 95);
+    EXPECT_EQ(cfg.nic_wb_access_ns, 5);
+    EXPECT_EQ(cfg.msix_send_ns, 70);
+    EXPECT_EQ(cfg.msix_send_ioctl_ns, 340);
+    EXPECT_EQ(cfg.msix_receive_ns, 350);
+    EXPECT_EQ(cfg.msix_end_to_end_ns, 1600);
+    EXPECT_EQ(cfg.dma_setup_ns, 1000);
+    EXPECT_EQ(cfg.dma_doorbell_writes, 2);
+    EXPECT_DOUBLE_EQ(cfg.dma_bytes_per_ns, 20.0);
+    EXPECT_DOUBLE_EQ(cfg.dma_remote_numa_factor, 0.85);
+    EXPECT_FALSE(cfg.coherent);
+    EXPECT_EQ(pcie::PcieConfig::kLineSize, 64u);
+    EXPECT_EQ(pcie::PcieConfig::kWordSize, 8u);
+}
+
+TEST(Calibration, UpiPresetForCoherentInterconnect)
+{
+    const pcie::PcieConfig cfg = pcie::PcieConfig::Upi();
+    EXPECT_EQ(cfg.mmio_read_ns, 220);
+    EXPECT_EQ(cfg.mmio_write_ns, 25);
+    EXPECT_EQ(cfg.posted_visibility_ns, 110);
+    EXPECT_EQ(cfg.wc_store_ns, 2);
+    EXPECT_EQ(cfg.sfence_ns, 40);
+    EXPECT_EQ(cfg.clflush_ns, 0);
+    EXPECT_EQ(cfg.nic_uncached_access_ns, 45);
+    EXPECT_EQ(cfg.nic_wb_access_ns, 5);
+    EXPECT_EQ(cfg.msix_send_ns, 60);
+    EXPECT_EQ(cfg.msix_send_ioctl_ns, 200);
+    EXPECT_EQ(cfg.msix_receive_ns, 350);
+    EXPECT_EQ(cfg.msix_end_to_end_ns, 950);
+    EXPECT_EQ(cfg.dma_setup_ns, 600);
+    EXPECT_DOUBLE_EQ(cfg.dma_bytes_per_ns, 30.0);
+    EXPECT_TRUE(cfg.coherent);
+}
+
+TEST(Calibration, GhostKernelCosts)
+{
+    const ghost::GhostCosts costs;
+    EXPECT_EQ(costs.msg_prep_ns, 350);
+    EXPECT_EQ(costs.commit_ns, 400);
+    EXPECT_EQ(costs.context_switch_ns, 1300);
+    EXPECT_EQ(costs.tick_ns, 12'600);
+    EXPECT_EQ(costs.tick_period_ns, 1'000'000);
+}
+
+TEST(Calibration, MachineShape)
+{
+    const machine::MachineConfig mc;
+    EXPECT_EQ(mc.host_cores, 16);
+    EXPECT_EQ(mc.ccx_size, 8);
+    EXPECT_DOUBLE_EQ(mc.host_speed, 1.0);
+    EXPECT_EQ(mc.nic_cores, 16);
+    EXPECT_DOUBLE_EQ(mc.nic_speed, 0.61);
+}
+
+TEST(Calibration, TurboCurveKnots)
+{
+    const machine::TurboModel::Config cfg;
+    const machine::TurboModel::Curve deep = {{1, 3.50},  {8, 3.50},
+                                             {16, 3.40}, {32, 3.20},
+                                             {48, 2.90}, {64, 2.60}};
+    const machine::TurboModel::Curve shallow = {{1, 3.20},  {8, 3.20},
+                                                {16, 3.13}, {32, 2.95},
+                                                {48, 2.78}, {64, 2.60}};
+    EXPECT_EQ(cfg.deep_idle, deep);
+    EXPECT_EQ(cfg.shallow_idle, shallow);
+    EXPECT_DOUBLE_EQ(cfg.base_ghz, 2.45);
+
+    // The Figure 5b headline endpoint: one active core gains ~9.4%
+    // from deep idle siblings (3.50 vs 3.20 GHz).
+    const machine::TurboModel model;
+    EXPECT_DOUBLE_EQ(model.FrequencyGhz(1, /*idle_cores_deep=*/true),
+                     3.50);
+    EXPECT_DOUBLE_EQ(model.FrequencyGhz(1, /*idle_cores_deep=*/false),
+                     3.20);
+}
+
+TEST(Calibration, SwapDeviceNvmeClassDefaults)
+{
+    const memmgr::SwapConfig cfg;
+    EXPECT_EQ(cfg.op_latency_ns, 8'000);
+    EXPECT_DOUBLE_EQ(cfg.bytes_per_ns, 3.2);
+    EXPECT_EQ(cfg.channels, 8u);
+}
+
+}  // namespace
+}  // namespace wave

@@ -123,6 +123,53 @@ TEST(Turbo, NeverBelowBaseFrequency)
     }
 }
 
+TEST(Turbo, EdgeActivityLevelsClampToTheCurveEnds)
+{
+    // Degenerate activity counts show up under fault injection (e.g. a
+    // stalled agent leaves zero cores active, a reannounce storm marks
+    // everything active at once); the curve must clamp, not extrapolate.
+    TurboModel turbo;
+    // Zero (or negative) active cores clamp to the 1-core knot.
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(0, true), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(-3, true), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(0, false), 3.20);
+    // Beyond the last knot the curve holds its final value.
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(65, true),
+                     turbo.FrequencyGhz(64, true));
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(10'000, true),
+                     turbo.FrequencyGhz(64, true));
+}
+
+TEST(Turbo, KnotBoundariesAreExactAndSegmentsInterpolate)
+{
+    TurboModel turbo;
+    const TurboModel::Config cfg;
+    // Every configured knot must be reproduced exactly.
+    for (const auto& [active, ghz] : cfg.deep_idle) {
+        EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(active, true), ghz);
+    }
+    for (const auto& [active, ghz] : cfg.shallow_idle) {
+        EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(active, false), ghz);
+    }
+    // Midpoint of the 16->32 deep segment: linear blend of 3.40/3.20.
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(24, true), 3.30);
+}
+
+TEST(Turbo, CurveHoldsUnderInjectedClockPerturbation)
+{
+    // A NIC-slowdown fault scales the NIC clock domain; the host turbo
+    // model must be unaffected by domain speed changes (it keys only
+    // on activity), so frequencies before/after the fault agree.
+    sim::Simulator sim;
+    machine::Machine machine(sim, machine::MachineConfig{});
+    TurboModel turbo;
+    const double before = turbo.FrequencyGhz(8, true);
+    machine.NicDomain().SetSpeed(0.3);  // fault-window begin
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), before);
+    machine.NicDomain().SetSpeed(0.61);  // fault-window end
+    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), before);
+}
+
 // Property sweep: the deep-idle advantage must shrink as more cores
 // become active (the turbo budget is consumed by real work).
 class TurboGapTest : public ::testing::TestWithParam<std::pair<int, int>> {};

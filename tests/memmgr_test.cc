@@ -206,6 +206,67 @@ TEST(SwapDevice, FaultStormQueuesBeyondChannelCount)
               device.Latency().Percentile(0.01));
 }
 
+TEST(SwapDevice, InjectedDelaySpikeInflatesOnlyTheWindow)
+{
+    // A device GC pause (modelled as a swap-delay fault window) must
+    // slow exactly the operations whose service falls inside it.
+    Simulator sim;
+    SwapConfig config;
+    config.channels = 1;
+    SwapDevice device(sim, config);
+    sim::inject::FaultInjector injector(sim);
+    device.SetFaultInjector(&injector);
+
+    const sim::DurationNs single =
+        config.op_latency_ns +
+        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
+    const sim::DurationNs spike = 50'000;
+    // Window covers the first operation only.
+    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/0,
+                   /*duration=*/single, /*param=*/spike}});
+
+    sim.Spawn([](Simulator& s, SwapDevice& d, sim::DurationNs base,
+                 sim::DurationNs extra) -> Task<> {
+        const sim::TimeNs t0 = s.Now();
+        co_await d.FaultIn();  // starts at 0: inside the window
+        EXPECT_EQ(s.Now() - t0, base + extra);
+        const sim::TimeNs t1 = s.Now();
+        co_await d.FaultIn();  // starts after the window: clean
+        EXPECT_EQ(s.Now() - t1, base);
+    }(sim, device, single, spike));
+    sim.Run();
+    EXPECT_EQ(injector.Stats().swap_delays, 1u);
+}
+
+TEST(SwapDevice, SpikeBehindSharedChannelDelaysEveryWaiter)
+{
+    // The spike applies while the channel is held, so queued waiters
+    // behind the slowed operation all see the inflated completion.
+    Simulator sim;
+    SwapConfig config;
+    config.channels = 1;
+    SwapDevice device(sim, config);
+    sim::inject::FaultInjector injector(sim);
+    device.SetFaultInjector(&injector);
+
+    const sim::DurationNs single =
+        config.op_latency_ns +
+        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
+    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/0,
+                   /*duration=*/1, /*param=*/100'000}});
+
+    for (int i = 0; i < 3; ++i) {
+        sim.Spawn([](SwapDevice& d) -> Task<> {
+            co_await d.FaultIn();
+        }(device));
+    }
+    sim.Run();
+    // First op pays the spike; ops 2 and 3 run clean but queued behind
+    // it, so completion is spike + 3 * single.
+    EXPECT_EQ(sim.Now(), 100'000u + 3 * single);
+    EXPECT_EQ(injector.Stats().swap_delays, 1u);
+}
+
 TEST(SwapDevice, BulkTransferAmortizesLatency)
 {
     Simulator sim;

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Watchdog-fallback recovery suite (§3.3).
+ *
+ * The paper's claim: when an offloaded agent dies or wedges, the
+ * on-host watchdog kills it and scheduling falls back to host system
+ * software; recovery is simple because the kernel never stopped being
+ * the source of truth (§6). These tests kill or stall the Wave agent
+ * at randomized points of a live run — transactions in flight, queues
+ * half-drained, prestaging active — and assert that every in-flight
+ * task completes through the fallback within bounded virtual time with
+ * zero coherence/protocol/happens-before violations.
+ */
+#include <gtest/gtest.h>
+
+#include "fuzz/runner.h"
+#include "fuzz/scenario.h"
+#include "sim/inject.h"
+#include "sim/random.h"
+
+namespace wave::fuzz {
+namespace {
+
+using sim::inject::FaultKind;
+
+/** A benign deployment for @p seed with an empty fault schedule. */
+Scenario
+BaseScenario(std::uint64_t seed)
+{
+    GenLimits none;
+    none.max_faults = 0;
+    return GenerateScenario(seed, none);
+}
+
+TEST(Recovery, AgentCrashAtRandomizedPointsCompletesViaFallback)
+{
+    // Crash points drawn from a dedicated named stream: anywhere in the
+    // live window, including mid-warmup (transactions in flight from
+    // the very first decisions) and deep in the measured region (queues
+    // half-drained, prestaging warm).
+    sim::Rng points(sim::StreamSeed(2026, "recovery-crash-points"));
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Scenario s = BaseScenario(seed);
+        const sim::TimeNs at = static_cast<sim::TimeNs>(points.NextInRange(
+            s.warmup_ns / 2, s.warmup_ns + (s.measure_ns * 3) / 4));
+        s.faults.push_back({FaultKind::kAgentCrash, at, 0, 0});
+
+        const RunResult r = RunScenario(s);
+        EXPECT_TRUE(r.Ok()) << "seed " << seed << " crash@" << at << ":\n"
+                            << r.Describe();
+        EXPECT_EQ(r.watchdog_expiries, 1u) << "seed " << seed;
+        EXPECT_TRUE(r.fallback_active) << "seed " << seed;
+        EXPECT_GT(r.completed, 0u);
+        EXPECT_EQ(r.pending_at_end, 0u)
+            << "in-flight tasks stranded after fallback (seed " << seed
+            << ")";
+    }
+}
+
+TEST(Recovery, WedgedAgentTripsWatchdogAndFallsBack)
+{
+    // A stall far beyond the watchdog timeout is indistinguishable from
+    // death: the dog must fire even though the agent coroutine is alive.
+    sim::Rng points(sim::StreamSeed(2026, "recovery-stall-points"));
+    for (std::uint64_t seed = 5; seed <= 7; ++seed) {
+        Scenario s = BaseScenario(seed);
+        const sim::TimeNs at = static_cast<sim::TimeNs>(
+            points.NextInRange(s.warmup_ns, s.warmup_ns + s.measure_ns / 2));
+        s.faults.push_back(
+            {FaultKind::kAgentStall, at, 4 * s.watchdog_timeout_ns, 0});
+
+        const RunResult r = RunScenario(s);
+        EXPECT_TRUE(r.Ok()) << "seed " << seed << " stall@" << at << ":\n"
+                            << r.Describe();
+        EXPECT_EQ(r.watchdog_expiries, 1u) << "seed " << seed;
+        EXPECT_TRUE(r.fallback_active) << "seed " << seed;
+        EXPECT_EQ(r.pending_at_end, 0u) << "seed " << seed;
+    }
+}
+
+TEST(Recovery, TransientStallSurvivesWithoutFallback)
+{
+    // A hiccup shorter than the timeout must ride out: the agent
+    // resumes, feeds the dog, and keeps its job.
+    Scenario s = BaseScenario(8);
+    s.faults.push_back({FaultKind::kAgentStall,
+                        static_cast<sim::TimeNs>(s.warmup_ns),
+                        s.watchdog_timeout_ns / 4, 0});
+
+    const RunResult r = RunScenario(s);
+    EXPECT_TRUE(r.Ok()) << r.Describe();
+    EXPECT_EQ(r.watchdog_expiries, 0u);
+    EXPECT_FALSE(r.fallback_active);
+    EXPECT_EQ(r.pending_at_end, 0u);
+}
+
+TEST(Recovery, CrashDuringCommitFailBurstStillRecovers)
+{
+    // Compound fault: the agent dies inside a window where the host is
+    // rejecting commits — the fallback must still drain everything.
+    Scenario s = BaseScenario(9);
+    const sim::TimeNs mid = s.warmup_ns + s.measure_ns / 3;
+    s.faults.push_back({FaultKind::kCommitFailBurst, mid, 2'000'000, 0});
+    s.faults.push_back({FaultKind::kAgentCrash, mid + 300'000, 0, 0});
+
+    const RunResult r = RunScenario(s);
+    EXPECT_TRUE(r.Ok()) << r.Describe();
+    EXPECT_TRUE(r.fallback_active);
+    EXPECT_EQ(r.pending_at_end, 0u);
+}
+
+TEST(Recovery, FallbackArrivesWithinBoundedVirtualTime)
+{
+    // The recovery latency bound: kill the agent, and the watchdog must
+    // fire within timeout + one check interval of the stall beginning.
+    Scenario s = BaseScenario(10);
+    const sim::TimeNs at = s.warmup_ns + s.measure_ns / 2;
+    s.faults.push_back({FaultKind::kAgentCrash, at, 0, 0});
+
+    const RunResult r = RunScenario(s);
+    ASSERT_TRUE(r.fallback_active) << r.Describe();
+    EXPECT_TRUE(r.Ok()) << r.Describe();
+    // Liveness evidence freezes at the crash; the dog has `timeout` of
+    // grace, polls every check interval, and the feed task samples on
+    // its own interval — allow both quantization steps.
+    const std::uint64_t bound =
+        at + s.watchdog_timeout_ns + 3 * s.watchdog_check_ns;
+    EXPECT_GE(r.fallback_at, static_cast<std::uint64_t>(at));
+    EXPECT_LE(r.fallback_at, bound)
+        << "watchdog took too long to declare the agent dead";
+}
+
+}  // namespace
+}  // namespace wave::fuzz

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic simulation fuzzer for the Wave model.
+ *
+ * Modes:
+ *
+ *   wave_fuzz --seed S --runs N        fuzz N seeded scenarios; on the
+ *                                      first oracle failure, shrink it
+ *                                      and write a replay artifact
+ *   wave_fuzz --replay FILE            re-run a saved artifact
+ *   wave_fuzz --replay FILE --shrink   shrink an artifact further
+ *   wave_fuzz --print-seed S           dump the scenario for one seed
+ *
+ * Exit status: 0 = all runs clean, 1 = an oracle failed (artifact
+ * written), 2 = usage or I/O error. Every run is deterministic: the
+ * same seed (or artifact) reproduces the same event stream bit for
+ * bit, which --check-determinism verifies by running each scenario
+ * twice and comparing fingerprints.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/runner.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+
+namespace {
+
+using wave::fuzz::GenLimits;
+using wave::fuzz::RunResult;
+using wave::fuzz::Scenario;
+using wave::fuzz::ShrinkOptions;
+
+struct Options {
+    std::uint64_t seed = 1;
+    int runs = 20;
+    std::string out = "wave_fuzz_repro.txt";
+    std::string replay;
+    bool shrink = true;
+    bool check_determinism = false;
+    bool print_seed = false;
+    bool verbose = false;
+    GenLimits limits;
+    ShrinkOptions shrink_opts;
+};
+
+void
+Usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seed S              first seed (default 1)\n"
+        "  --runs N              scenarios to fuzz (default 20)\n"
+        "  --out FILE            repro artifact path "
+        "(default wave_fuzz_repro.txt)\n"
+        "  --replay FILE         run a saved artifact instead of fuzzing\n"
+        "  --shrink / --no-shrink  toggle repro shrinking (default on)\n"
+        "  --shrink-budget N     max simulations while shrinking\n"
+        "  --max-faults N        faults per generated scenario\n"
+        "  --enable-bug-faults   include the planted double-commit bug\n"
+        "  --check-determinism   run each scenario twice, compare "
+        "fingerprints\n"
+        "  --print-seed S        print the scenario for seed S and exit\n"
+        "  --verbose             per-run reporting\n",
+        argv0);
+}
+
+bool
+ParseArgs(int argc, char** argv, Options* opts)
+{
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const char* v = nullptr;
+        if (std::strcmp(arg, "--seed") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->seed = std::strtoull(v, nullptr, 0);
+        } else if (std::strcmp(arg, "--runs") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->runs = std::atoi(v);
+        } else if (std::strcmp(arg, "--out") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->out = v;
+        } else if (std::strcmp(arg, "--replay") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->replay = v;
+        } else if (std::strcmp(arg, "--shrink") == 0) {
+            opts->shrink = true;
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+            opts->shrink = false;
+        } else if (std::strcmp(arg, "--shrink-budget") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->shrink_opts.max_runs = std::atoi(v);
+        } else if (std::strcmp(arg, "--max-faults") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->limits.max_faults =
+                static_cast<std::size_t>(std::atoi(v));
+        } else if (std::strcmp(arg, "--enable-bug-faults") == 0) {
+            opts->limits.enable_bug_faults = true;
+        } else if (std::strcmp(arg, "--check-determinism") == 0) {
+            opts->check_determinism = true;
+        } else if (std::strcmp(arg, "--print-seed") == 0) {
+            if ((v = need_value(i)) == nullptr) return false;
+            opts->seed = std::strtoull(v, nullptr, 0);
+            opts->print_seed = true;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            opts->verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg);
+            Usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+RunResult
+Execute(const Options& opts, const Scenario& s)
+{
+    return opts.check_determinism ? wave::fuzz::RunScenarioTwice(s)
+                                  : wave::fuzz::RunScenario(s);
+}
+
+void
+ReportRun(const Scenario& s, const RunResult& r)
+{
+    std::printf("seed=%llu faults=%zu completed=%llu pending=%llu "
+                "fingerprint=%016llx fallback=%d %s\n",
+                static_cast<unsigned long long>(s.seed), s.faults.size(),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.pending_at_end),
+                static_cast<unsigned long long>(r.event_hash),
+                r.fallback_active ? 1 : 0, r.Ok() ? "OK" : "FAIL");
+}
+
+/** Shrinks (if enabled), writes the artifact, prints the verdict. */
+int
+HandleFailure(const Options& opts, const Scenario& failing,
+              const RunResult& result)
+{
+    Scenario minimal = failing;
+    RunResult minimal_result = result;
+    if (opts.shrink) {
+        const wave::fuzz::ShrinkOutcome out =
+            wave::fuzz::Shrink(failing, opts.shrink_opts);
+        if (out.failing) {
+            minimal = out.scenario;
+            minimal_result = out.result;
+            std::printf("shrunk to %zu fault(s) in %d run(s)\n",
+                        minimal.faults.size(), out.runs);
+        }
+    }
+    if (!wave::fuzz::SaveScenario(minimal, opts.out)) {
+        std::fprintf(stderr, "cannot write %s\n", opts.out.c_str());
+        return 2;
+    }
+    std::printf("oracle failure (replay: wave_fuzz --replay %s):\n%s",
+                opts.out.c_str(), minimal_result.Describe().c_str());
+    return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opts;
+    if (!ParseArgs(argc, argv, &opts)) return 2;
+
+    if (opts.print_seed) {
+        const Scenario s = GenerateScenario(opts.seed, opts.limits);
+        std::printf("%s", wave::fuzz::ScenarioToString(s).c_str());
+        return 0;
+    }
+
+    if (!opts.replay.empty()) {
+        Scenario s;
+        std::string error;
+        if (!wave::fuzz::LoadScenario(opts.replay, &s, &error)) {
+            std::fprintf(stderr, "bad artifact: %s\n", error.c_str());
+            return 2;
+        }
+        const RunResult r = Execute(opts, s);
+        ReportRun(s, r);
+        if (r.Ok()) return 0;
+        if (opts.shrink) return HandleFailure(opts, s, r);
+        std::printf("%s", r.Describe().c_str());
+        return 1;
+    }
+
+    for (int i = 0; i < opts.runs; ++i) {
+        const std::uint64_t seed =
+            opts.seed + static_cast<std::uint64_t>(i);
+        const Scenario s = GenerateScenario(seed, opts.limits);
+        const RunResult r = Execute(opts, s);
+        if (opts.verbose || !r.Ok()) ReportRun(s, r);
+        if (!r.Ok()) return HandleFailure(opts, s, r);
+    }
+    std::printf("%d scenario(s) clean (seeds %llu..%llu)\n", opts.runs,
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(
+                    opts.seed + static_cast<std::uint64_t>(opts.runs) -
+                    1));
+    return 0;
+}
