@@ -51,8 +51,8 @@ main()
             const auto r = workload::RunSchedExperiment(cfg);
             curve.AddRow({bench::FmtTput(rps), names[mode],
                           bench::FmtTput(r.achieved_rps),
-                          bench::FmtNs(static_cast<double>(r.get_p50)),
-                          bench::FmtNs(static_cast<double>(r.get_p99))});
+                          bench::FmtNs(r.get_p50.ToDouble()),
+                          bench::FmtNs(r.get_p99.ToDouble())});
         }
     }
     curve.Print();

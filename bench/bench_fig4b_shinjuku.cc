@@ -55,7 +55,7 @@ main()
             curve.AddRow(
                 {bench::FmtTput(rps), names[mode],
                  bench::FmtTput(r.achieved_rps),
-                 bench::FmtNs(static_cast<double>(r.get_p99)),
+                 bench::FmtNs(r.get_p99.ToDouble()),
                  stats::Table::Fmt("%llu",
                                    static_cast<unsigned long long>(
                                        r.preemptions))});

@@ -52,9 +52,9 @@ MeasureWorkOutput(int active_vcpus, bool ticks)
     // only when ticks are disabled (the Wave deployment).
     const int active_physical = std::min(active_vcpus, kPhysicalCores);
     machine::TurboModel turbo;
-    const double freq_ghz =
-        turbo.FrequencyGhz(active_physical, /*idle_cores_deep=*/!ticks);
-    machine.HostDomain().SetSpeed(freq_ghz / 3.5);
+    const machine::FreqGhz freq =
+        turbo.Frequency(active_physical, /*idle_cores_deep=*/!ticks);
+    machine.HostDomain().SetSpeed(freq.RatioTo(machine::kReferenceFreq));
 
     WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
                         api::OptimizationConfig::Full());
@@ -132,7 +132,7 @@ MeasureWorkOutput(int active_vcpus, bool ticks)
                 ? active_vcpus > kPhysicalCores + logical
                 : true;
         const double smt = smt_shared ? kSmtYieldPerSibling : 1.0;
-        work_ghz_s += ran_s * freq_ghz * smt;
+        work_ghz_s += ran_s * freq.ghz() * smt;
     }
     return work_ghz_s;
 }

@@ -60,7 +60,7 @@ main()
             const auto r = rpc::RunRpcExperiment(cfg);
             curve.AddRow({bench::FmtTput(rps), row.name,
                           bench::FmtTput(r.achieved_rps),
-                          bench::FmtNs(static_cast<double>(r.get_p99))});
+                          bench::FmtNs(r.get_p99.ToDouble())});
         }
     }
     curve.Print();

@@ -67,7 +67,7 @@ RunPolicy(std::unique_ptr<memmgr::MemPolicy> policy)
         }
     }(sim, space));
 
-    const sim::TimeNs end = epoch + epoch / 4;  // one epoch + margin
+    const sim::TimeNs end{epoch + epoch / 4};  // one epoch + margin
     sim.Spawn([](sol::SolAgent& a, sim::TimeNs until) -> sim::Task<> {
         co_await a.RunUntil(until);
     }(agent, end));
@@ -75,7 +75,7 @@ RunPolicy(std::unique_ptr<memmgr::MemPolicy> policy)
 
     Outcome outcome;
     outcome.scans = agent.Stats().batches_scanned;
-    outcome.mean_iteration_ns = static_cast<sim::DurationNs>(
+    outcome.mean_iteration_ns = sim::DurationNs::FromDouble(
         agent.Stats().iteration_ns.Mean());
     outcome.fast_fraction =
         static_cast<double>(space.FastTierPages()) /
@@ -117,9 +117,8 @@ main()
                                     static_cast<unsigned long long>(
                                         clock.scans))});
     table.AddRow({"mean agent iteration",
-                  bench::FmtNs(static_cast<double>(sol.mean_iteration_ns)),
-                  bench::FmtNs(static_cast<double>(
-                      clock.mean_iteration_ns))});
+                  bench::FmtNs(sol.mean_iteration_ns.ToDouble()),
+                  bench::FmtNs(clock.mean_iteration_ns.ToDouble())});
     table.AddRow({"fast-tier fraction after epoch",
                   stats::Table::Fmt("%.0f%%", sol.fast_fraction * 100),
                   stats::Table::Fmt("%.0f%%", clock.fast_fraction * 100)});

@@ -56,9 +56,9 @@ main()
             table.AddRow(
                 {name, bench::FmtTput(rps),
                  bench::FmtTput(r.achieved_rps),
-                 bench::FmtNs(static_cast<double>(r.get_p50)),
-                 bench::FmtNs(static_cast<double>(r.get_p99)),
-                 bench::FmtNs(static_cast<double>(r.ctx_switch_p50))});
+                 bench::FmtNs(r.get_p50.ToDouble()),
+                 bench::FmtNs(r.get_p99.ToDouble()),
+                 bench::FmtNs(r.ctx_switch_p50.ToDouble())});
         }
     }
     table.Print();

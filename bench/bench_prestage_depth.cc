@@ -41,7 +41,7 @@ main()
         table.AddRow({stats::Table::Fmt("%zu", depth),
                       bench::FmtTput(r.achieved_rps),
                       stats::Table::Fmt("%.0f%%", hit_rate * 100),
-                      bench::FmtNs(static_cast<double>(r.ctx_switch_p50))});
+                      bench::FmtNs(r.ctx_switch_p50.ToDouble())});
     }
     table.Print();
 
@@ -57,6 +57,6 @@ main()
     const auto r = workload::RunSchedExperiment(cfg);
     std::printf("achieved %s, ctx-switch p50 %s\n",
                 bench::FmtTput(r.achieved_rps).c_str(),
-                bench::FmtNs(static_cast<double>(r.ctx_switch_p50)).c_str());
+                bench::FmtNs(r.ctx_switch_p50.ToDouble()).c_str());
     return 0;
 }

@@ -29,6 +29,7 @@ using channel::Bytes;
 using channel::QueueConfig;
 using sim::Simulator;
 using sim::Task;
+using sim::DurationNs;
 using sim::TimeNs;
 
 Bytes
@@ -40,7 +41,7 @@ Msg(std::uint64_t v)
 }
 
 /** Simulated per-message send cost for a PTE strategy, batch of 16. */
-TimeNs
+DurationNs
 MmioSendCost(pcie::PteType write_type)
 {
     Simulator sim;
@@ -50,9 +51,9 @@ MmioSendCost(pcie::PteType write_type)
                                          .payload_size = 48});
     channel::HostProducer producer(queue, write_type,
                                    pcie::PteType::kWriteThrough);
-    TimeNs cost = 0;
+    DurationNs cost{};
     sim.Spawn([](Simulator& s, channel::HostProducer& p,
-                 TimeNs& out) -> Task<> {
+                 DurationNs& out) -> Task<> {
         std::vector<Bytes> batch;
         for (std::uint64_t i = 0; i < 16; ++i) batch.push_back(Msg(i));
         const TimeNs t0 = s.Now();
@@ -64,7 +65,7 @@ MmioSendCost(pcie::PteType write_type)
 }
 
 /** Simulated receive cost with/without WT caching and prefetch. */
-TimeNs
+DurationNs
 MmioReceiveCost(bool write_through, bool prefetch)
 {
     Simulator sim;
@@ -78,9 +79,9 @@ MmioReceiveCost(bool write_through, bool prefetch)
         write_through ? pcie::PteType::kWriteThrough
                       : pcie::PteType::kUncacheable,
         pcie::PteType::kWriteCombining);
-    TimeNs cost = 0;
+    DurationNs cost{};
     sim.Spawn([](Simulator& s, channel::NicProducer& p,
-                 channel::HostConsumer& c, bool pf, TimeNs& out) -> Task<> {
+                 channel::HostConsumer& c, bool pf, DurationNs& out) -> Task<> {
         co_await p.Send(Msg(7));
         if (pf) {
             co_await c.PrefetchNext();
@@ -96,7 +97,7 @@ MmioReceiveCost(bool write_through, bool prefetch)
 }
 
 /** Simulated per-message DMA cost, batched or singly, sync or async. */
-TimeNs
+DurationNs
 DmaSendCost(std::size_t batch_size, bool sync)
 {
     Simulator sim;
@@ -105,9 +106,9 @@ DmaSendCost(std::size_t batch_size, bool sync)
                             QueueConfig{.capacity = 256,
                                         .payload_size = 48,
                                         .sync_interval = 64});
-    TimeNs cost = 0;
+    DurationNs cost{};
     sim.Spawn([](Simulator& s, channel::DmaQueue& q, std::size_t n,
-                 bool sy, TimeNs& out) -> Task<> {
+                 bool sy, DurationNs& out) -> Task<> {
         const TimeNs t0 = s.Now();
         std::size_t sent = 0;
         while (sent < 128) {
@@ -130,36 +131,31 @@ PrintDesignChoiceTables()
     stats::Table send({"host->NIC send path (per msg, batch=16)",
                        "cost"});
     send.AddRow({"uncacheable stores (baseline)",
-                 bench::FmtNs(static_cast<double>(
-                     MmioSendCost(pcie::PteType::kUncacheable)))});
+                 bench::FmtNs(MmioSendCost(pcie::PteType::kUncacheable).ToDouble())});
     send.AddRow({"write-combining + one sfence (§5.3.1)",
-                 bench::FmtNs(static_cast<double>(
-                     MmioSendCost(pcie::PteType::kWriteCombining)))});
+                 bench::FmtNs(MmioSendCost(pcie::PteType::kWriteCombining).ToDouble())});
     send.Print();
 
     stats::PrintHeading("NIC->host decision read");
     stats::Table recv({"receive path", "cost"});
     recv.AddRow({"uncacheable reads (baseline)",
-                 bench::FmtNs(static_cast<double>(
-                     MmioReceiveCost(false, false)))});
+                 bench::FmtNs(MmioReceiveCost(false, false).ToDouble())});
     recv.AddRow({"write-through line fetch (§5.3.2)",
-                 bench::FmtNs(static_cast<double>(
-                     MmioReceiveCost(true, false)))});
+                 bench::FmtNs(MmioReceiveCost(true, false).ToDouble())});
     recv.AddRow({"write-through + prefetch (§5.4)",
-                 bench::FmtNs(static_cast<double>(
-                     MmioReceiveCost(true, true)))});
+                 bench::FmtNs(MmioReceiveCost(true, true).ToDouble())});
     recv.Print();
 
     stats::PrintHeading("DMA queue (per msg over 128 msgs)");
     stats::Table dma({"strategy", "cost"});
     dma.AddRow({"sync, single-message transfers",
-                bench::FmtNs(static_cast<double>(DmaSendCost(1, true)))});
+                bench::FmtNs(DmaSendCost(1, true).ToDouble())});
     dma.AddRow({"async, single-message transfers",
-                bench::FmtNs(static_cast<double>(DmaSendCost(1, false)))});
+                bench::FmtNs(DmaSendCost(1, false).ToDouble())});
     dma.AddRow({"sync, 64-message batches",
-                bench::FmtNs(static_cast<double>(DmaSendCost(64, true)))});
+                bench::FmtNs(DmaSendCost(64, true).ToDouble())});
     dma.AddRow({"async, 64-message batches (Floem/iPipe)",
-                bench::FmtNs(static_cast<double>(DmaSendCost(64, false)))});
+                bench::FmtNs(DmaSendCost(64, false).ToDouble())});
     dma.Print();
 
     stats::PrintHeading("NUMA placement (1 MiB DMA, §5.1)");
@@ -172,8 +168,8 @@ PrintDesignChoiceTables()
         const auto remote_ns = engine.TransferTime(mib);
         std::printf("recipient-local buffers: %s   remote-node: %s "
                     "(paper: 10-20%% throughput difference)\n",
-                    bench::FmtNs(static_cast<double>(local_ns)).c_str(),
-                    bench::FmtNs(static_cast<double>(remote_ns)).c_str());
+                    bench::FmtNs(local_ns.ToDouble()).c_str(),
+                    bench::FmtNs(remote_ns.ToDouble()).c_str());
     }
     std::printf("\n");
 }

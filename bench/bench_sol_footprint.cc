@@ -44,7 +44,7 @@ RunGets(sim::Simulator& sim, memmgr::AddressSpace& space,
         static_cast<std::size_t>(kHotFraction * kPages);
     while (sim.Now() < until) {
         // ~50k GETs/s keeps access bits warm without dominating runtime.
-        co_await sim.Delay(static_cast<sim::DurationNs>(
+        co_await sim.Delay(sim::DurationNs::FromDouble(
             rng.NextExponential(20'000.0)));
         sim::DurationNs service = kGetServiceNs + kSchedOverheadNs;
         // Each GET touches 8 pages (data blocks + index/filter); 98% of
@@ -62,7 +62,7 @@ RunGets(sim::Simulator& sim, memmgr::AddressSpace& space,
                 service += sim.Now() - fault_start;
             }
         }
-        latency.Record(service);
+        latency.Record(service.ns());
     }
 }
 
@@ -87,7 +87,7 @@ main()
     sol::SolAgent agent(sim, space, deployment);
 
     const sim::DurationNs epoch = agent.Policy().EpochNs();
-    const sim::TimeNs end = 3 * epoch + epoch / 4;  // past 3 epochs
+    const sim::TimeNs end{3 * epoch + epoch / 4};  // past 3 epochs
 
     memmgr::SwapDevice swap(sim);
     stats::Histogram get_latency;
@@ -103,7 +103,7 @@ main()
     trajectory.AddRow({"start", stats::Table::Fmt("%.1f", start_gib),
                        "100%"});
     for (int e = 1; e <= 3; ++e) {
-        sim.RunUntil(static_cast<sim::TimeNs>(e) * epoch + epoch / 8);
+        sim.RunUntil(sim::TimeNs{e * epoch + epoch / 8});
         const double gib =
             static_cast<double>(space.FastTierBytes()) / (1ull << 30);
         trajectory.AddRow(

@@ -76,8 +76,8 @@ main()
         const auto wave_ns = MeasureIteration(row.cores, true);
         const auto host_ns = MeasureIteration(row.cores, false);
         table.AddRow({stats::Table::Fmt("%d", row.cores),
-                      bench::FmtNs(static_cast<double>(wave_ns)), row.wave,
-                      bench::FmtNs(static_cast<double>(host_ns)),
+                      bench::FmtNs(wave_ns.ToDouble()), row.wave,
+                      bench::FmtNs(host_ns.ToDouble()),
                       row.onhost});
     }
     table.Print();
@@ -90,9 +90,9 @@ main()
         const std::size_t bytes = kPages / 8;
         std::printf("full-address-space access-bit DMA: %s "
                     "(%zu KiB at 20 GB/s + setup)\n",
-                    bench::FmtNs(static_cast<double>(
-                        dma.TransferTime(bytes) +
-                        pcie::PcieConfig{}.nic_wb_access_ns * 2)).c_str(),
+                    bench::FmtNs((dma.TransferTime(bytes) +
+                                  pcie::PcieConfig{}.nic_wb_access_ns * 2)
+                                     .ToDouble()).c_str(),
                     bytes / 1024);
     }
     return 0;

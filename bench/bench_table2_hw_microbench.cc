@@ -19,24 +19,25 @@ namespace {
 
 using sim::Simulator;
 using sim::Task;
+using sim::DurationNs;
 using sim::TimeNs;
 
 /** Measures the simulated duration of one operation. */
 template <typename MakeTask>
-TimeNs
+DurationNs
 Measure(MakeTask&& make)
 {
     Simulator sim;
-    TimeNs cost = 0;
+    DurationNs cost{};
     sim.Spawn(make(sim, cost));
     sim.Run();
     return cost;
 }
 
-TimeNs
+DurationNs
 MeasureMmioRead()
 {
-    return Measure([](Simulator& sim, TimeNs& cost) -> Task<> {
+    return Measure([](Simulator& sim, DurationNs& cost) -> Task<> {
         pcie::NicDram dram(sim, pcie::PcieConfig{}, 4096);
         pcie::HostMmioMapping map(dram, pcie::PteType::kUncacheable);
         std::uint64_t value = 0;
@@ -46,10 +47,10 @@ MeasureMmioRead()
     });
 }
 
-TimeNs
+DurationNs
 MeasureMmioWrite()
 {
-    return Measure([](Simulator& sim, TimeNs& cost) -> Task<> {
+    return Measure([](Simulator& sim, DurationNs& cost) -> Task<> {
         pcie::NicDram dram(sim, pcie::PcieConfig{}, 4096);
         pcie::HostMmioMapping map(dram, pcie::PteType::kUncacheable);
         const std::uint64_t value = 42;
@@ -59,10 +60,10 @@ MeasureMmioWrite()
     });
 }
 
-TimeNs
+DurationNs
 MeasureMsixSend(pcie::MsiXVector::SendPath path)
 {
-    return Measure([path](Simulator& sim, TimeNs& cost) -> Task<> {
+    return Measure([path](Simulator& sim, DurationNs& cost) -> Task<> {
         pcie::MsiXVector vector(sim, pcie::PcieConfig{});
         const TimeNs t0 = sim.Now();
         co_await vector.Send(path);
@@ -70,10 +71,10 @@ MeasureMsixSend(pcie::MsiXVector::SendPath path)
     });
 }
 
-TimeNs
+DurationNs
 MeasureMsixReceive()
 {
-    return Measure([](Simulator& sim, TimeNs& cost) -> Task<> {
+    return Measure([](Simulator& sim, DurationNs& cost) -> Task<> {
         pcie::MsiXVector vector(sim, pcie::PcieConfig{});
         co_await vector.Send();
         // Wait for pendency, then time only the receive cost.
@@ -86,13 +87,13 @@ MeasureMsixReceive()
     });
 }
 
-TimeNs
+DurationNs
 MeasureMsixEndToEnd()
 {
     Simulator sim;
     pcie::MsiXVector vector(sim, pcie::PcieConfig{});
-    TimeNs send_start = 0;
-    TimeNs handler_entry = 0;
+    TimeNs send_start{};
+    TimeNs handler_entry{};
     sim.Spawn([](Simulator& s, pcie::MsiXVector& v, TimeNs& entry) -> Task<> {
         co_await v.WaitAndReceive();
         entry = s.Now();
@@ -116,24 +117,24 @@ main()
 
     stats::Table table({"operation", "measured", "paper"});
     table.AddRow({"1. Host MMIO 64-bit Read (Uncacheable)",
-                  bench::FmtNs(static_cast<double>(MeasureMmioRead())),
+                  bench::FmtNs(MeasureMmioRead().ToDouble()),
                   "750 ns"});
     table.AddRow({"2. Host MMIO 64-bit Write (Uncacheable)",
-                  bench::FmtNs(static_cast<double>(MeasureMmioWrite())),
+                  bench::FmtNs(MeasureMmioWrite().ToDouble()),
                   "50 ns"});
     table.AddRow({"3. MSI-X Send (Register Write)",
-                  bench::FmtNs(static_cast<double>(MeasureMsixSend(
-                      pcie::MsiXVector::SendPath::kRegisterWrite))),
+                  bench::FmtNs(MeasureMsixSend(
+                      pcie::MsiXVector::SendPath::kRegisterWrite).ToDouble()),
                   "70 ns"});
     table.AddRow({"4. MSI-X Send (Ioctl + Register Write)",
-                  bench::FmtNs(static_cast<double>(MeasureMsixSend(
-                      pcie::MsiXVector::SendPath::kIoctl))),
+                  bench::FmtNs(MeasureMsixSend(
+                      pcie::MsiXVector::SendPath::kIoctl).ToDouble()),
                   "340 ns"});
     table.AddRow({"5. MSI-X Receive",
-                  bench::FmtNs(static_cast<double>(MeasureMsixReceive())),
+                  bench::FmtNs(MeasureMsixReceive().ToDouble()),
                   "350 ns"});
     table.AddRow({"6. MSI-X End-to-End",
-                  bench::FmtNs(static_cast<double>(MeasureMsixEndToEnd())),
+                  bench::FmtNs(MeasureMsixEndToEnd().ToDouble()),
                   "1,600 ns"});
     table.Print();
     return 0;

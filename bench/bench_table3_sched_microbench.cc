@@ -29,10 +29,11 @@ namespace {
 
 using sim::Simulator;
 using sim::Task;
+using sim::DurationNs;
 using sim::TimeNs;
 
 /** Agent-side decision-open + kick latency on a given transport. */
-TimeNs
+DurationNs
 MeasureDecisionOpen(bool on_nic, bool nic_wb)
 {
     Simulator sim;
@@ -48,9 +49,9 @@ MeasureDecisionOpen(bool on_nic, bool nic_wb)
         transport = std::make_unique<ghost::ShmSchedTransport>(sim, 1);
     }
 
-    TimeNs cost = 0;
+    DurationNs cost{};
     sim.Spawn([](Simulator& s, ghost::SchedTransport& t,
-                 TimeNs& out) -> Task<> {
+                 DurationNs& out) -> Task<> {
         ghost::GhostDecision d{};
         d.type = ghost::DecisionType::kRunThread;
         d.tid = 1;
@@ -92,12 +93,12 @@ class YieldingBody : public ghost::ThreadBody {
  * far from saturation). Two worker cores, 64 yielding threads; range
  * of medians over 5 runs with staggered service times.
  */
-std::pair<TimeNs, TimeNs>
+std::pair<DurationNs, DurationNs>
 MeasureCtxSwitch(workload::Deployment deployment,
                  api::OptimizationConfig opt, bool prestage)
 {
-    TimeNs lo = ~0ull;
-    TimeNs hi = 0;
+    DurationNs lo = ~0ull;
+    DurationNs hi{};
     for (int run = 0; run < 5; ++run) {
         Simulator sim;
         machine::Machine machine(sim);
@@ -144,7 +145,7 @@ MeasureCtxSwitch(workload::Deployment deployment,
         kernel.Start({0, 1});
         sim.RunFor(50'000'000);
 
-        const TimeNs median =
+        const DurationNs median =
             kernel.Stats().ctx_switch_overhead.Percentile(0.50);
         lo = std::min(lo, median);
         hi = std::max(hi, median);
@@ -153,11 +154,11 @@ MeasureCtxSwitch(workload::Deployment deployment,
 }
 
 std::string
-FmtRange(std::pair<TimeNs, TimeNs> range)
+FmtRange(std::pair<DurationNs, DurationNs> range)
 {
     return stats::Table::Fmt("%.0f-%.0f ns",
-                             static_cast<double>(range.first),
-                             static_cast<double>(range.second));
+                             range.first.ToDouble(),
+                             range.second.ToDouble());
 }
 
 }  // namespace
@@ -176,11 +177,11 @@ main()
                   ""});
     table.AddRow(
         {"1. Open Decision + MSI-X, baseline",
-         bench::FmtNs(static_cast<double>(MeasureDecisionOpen(true, false))),
+         bench::FmtNs(MeasureDecisionOpen(true, false).ToDouble()),
          "1,013 ns"});
     table.AddRow(
         {"   with WB PTEs on SmartNIC",
-         bench::FmtNs(static_cast<double>(MeasureDecisionOpen(true, true))),
+         bench::FmtNs(MeasureDecisionOpen(true, true).ToDouble()),
          "426 ns"});
 
     api::OptimizationConfig baseline = api::OptimizationConfig::None();
@@ -210,7 +211,7 @@ main()
     table.AddRow({"-- On-Host ghOSt Scheduler --", "", ""});
     table.AddRow(
         {"3. Open Decision + Interrupt",
-         bench::FmtNs(static_cast<double>(MeasureDecisionOpen(false, false))),
+         bench::FmtNs(MeasureDecisionOpen(false, false).ToDouble()),
          "770 ns"});
     table.AddRow({"4. Context Switch Overhead on Host", "", ""});
     table.AddRow({"   Baseline",

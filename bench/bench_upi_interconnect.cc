@@ -73,7 +73,7 @@ main()
     auto row = [&](const char* name,
                    const rpc::RpcExperimentResult& r, const char* paper) {
         table.AddRow({name, bench::FmtTput(r.achieved_rps),
-                      bench::FmtNs(static_cast<double>(r.get_p99)),
+                      bench::FmtNs(r.get_p99.ToDouble()),
                       paper});
     };
     row("On-Host (same socket, 3.5 GHz)", onhost, "baseline");
@@ -98,7 +98,7 @@ main()
         "\nExpected ordering: on-host best; UPI degrades as the emulated\n"
         "socket slows; the coherent UPI@3GHz beats the PCIe SmartNIC\n"
         "(paper: +0.9%% at saturation). UPI@3GHz p99 %s vs PCIe p99 %s.\n",
-        bench::FmtNs(static_cast<double>(upi_3ghz_p99)).c_str(),
-        bench::FmtNs(static_cast<double>(pcie_nic.get_p99)).c_str());
+        bench::FmtNs(upi_3ghz_p99.ToDouble()).c_str(),
+        bench::FmtNs(pcie_nic.get_p99.ToDouble()).c_str());
     return 0;
 }

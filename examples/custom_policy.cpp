@@ -148,7 +148,7 @@ main()
     std::printf("completion times on one core (20 us each):\n");
     for (ghost::Tid tid = 1; tid <= 9; ++tid) {
         std::printf("  tid %d (%s): %7.1f us\n", tid,
-                    tid == 9 ? "HIGH" : "low ", done[tid] / 1e3);
+                    tid == 9 ? "HIGH" : "low ", sim::ToUs(done[tid]));
     }
     int finished_before_high = 0;
     for (ghost::Tid tid = 1; tid <= 8; ++tid) {

@@ -45,7 +45,7 @@ main(int argc, char** argv)
                     deployment == Deployment::kWave
                         ? "Wave (SmartNIC agent)"
                         : "on-host ghOSt",
-                    r.achieved_rps / 1e3, r.get_p50 / 1e3, r.get_p99 / 1e3,
+                    r.achieved_rps / 1e3, sim::ToUs(r.get_p50), sim::ToUs(r.get_p99),
                     static_cast<unsigned long long>(r.preemptions));
     }
 

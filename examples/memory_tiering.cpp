@@ -66,12 +66,12 @@ main()
     const sim::DurationNs epoch = agent.Policy().EpochNs();
     sim.Spawn([](sol::SolAgent& a, sim::TimeNs until) -> sim::Task<> {
         co_await a.RunUntil(until);
-    }(agent, 3 * epoch + epoch / 2));
+    }(agent, sim::TimeNs{3 * epoch + epoch / 2}));
 
     std::printf("%-16s %16s %14s %12s\n", "time", "fast tier (MiB)",
                 "iterations", "migrated");
     for (int step = 0; step <= 7; ++step) {
-        sim.RunUntil(static_cast<sim::TimeNs>(step) * epoch / 2);
+        sim.RunUntil(sim::TimeNs{step * epoch / 2});
         std::printf("%13.1f s  %15zu %14llu %12llu\n",
                     sim::ToSec(sim.Now()),
                     space.FastTierBytes() >> 20,
@@ -83,6 +83,6 @@ main()
 
     std::printf("\nlast iteration took %.0f ms on 8 ARM cores "
                 "(16 host cores stayed free)\n",
-                agent.Stats().last_iteration_ns / 1e6);
+                sim::ToMs(agent.Stats().last_iteration_ns));
     return 0;
 }

@@ -34,9 +34,9 @@ RunTrial(bool ticks)
     machine::Machine machine(sim, mc);
 
     machine::TurboModel turbo;
-    const double freq =
-        turbo.FrequencyGhz(/*active=*/1, /*idle_cores_deep=*/!ticks);
-    machine.HostDomain().SetSpeed(freq / 3.5);
+    const machine::FreqGhz freq =
+        turbo.Frequency(/*active=*/1, /*idle_cores_deep=*/!ticks);
+    machine.HostDomain().SetSpeed(freq.RatioTo(machine::kReferenceFreq));
 
     WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
                         api::OptimizationConfig::Full());
@@ -80,7 +80,7 @@ RunTrial(bool ticks)
     kernel.Start(cores);
 
     sim.RunFor(100'000'000);  // 100 ms
-    return sim::ToSec(busy->BusyNs()) * freq;  // GHz-seconds of work
+    return sim::ToSec(busy->BusyNs()) * freq.ghz();  // GHz-seconds of work
 }
 
 }  // namespace

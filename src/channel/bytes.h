@@ -6,6 +6,7 @@
  * trivially-copyable message structs. These helpers keep the
  * reinterpretation in one audited place.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstring>

@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "channel/dma_queue.h"
 
 #include <cstring>
@@ -14,8 +15,8 @@ sim::Task<>
 LocalAccess(sim::Simulator& sim, sim::DurationNs per_word_ns, std::size_t n)
 {
     if (per_word_ns == 0) co_return;
-    const auto words = static_cast<sim::DurationNs>(
-        (n + pcie::PcieConfig::kWordSize - 1) / pcie::PcieConfig::kWordSize);
+    const std::size_t words =
+        (n + pcie::PcieConfig::kWordSize - 1) / pcie::PcieConfig::kWordSize;
     co_await sim.Delay(per_word_ns * words);
 }
 

@@ -18,6 +18,7 @@
  * or asynchronous (producer continues; iPipe reports 2-7x throughput
  * gains from async DMA, which bench_queue_primitives reproduces).
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

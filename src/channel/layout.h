@@ -21,6 +21,7 @@
  * cache line, so a write-through host consumer fetches flag + payload in
  * one PCIe roundtrip.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstddef>

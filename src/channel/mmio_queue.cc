@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "channel/mmio_queue.h"
 
 #include <cstring>

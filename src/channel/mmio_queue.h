@@ -16,6 +16,7 @@
  * The HostConsumer supports the full §5.3.2/§5.4 toolkit: write-through
  * caching, clflush-based software coherence, and prefetching.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "check/coherence.h"
 
 #include <cstdio>
@@ -42,10 +43,10 @@ Violation::Describe() const
                   "%s write %s[%zu,+%zu)@%llu ns",
                   KindName(kind), line, DomainName(read.domain),
                   read.label, read.offset, read.size,
-                  static_cast<unsigned long long>(read.when),
+                  static_cast<unsigned long long>(read.when.ns()),
                   DomainName(write.domain), write.label, write.offset,
                   write.size,
-                  static_cast<unsigned long long>(write.when));
+                  static_cast<unsigned long long>(write.when.ns()));
     return buf;
 }
 
@@ -191,7 +192,7 @@ CoherenceChecker::Report(ViolationKind kind, std::size_t line,
     std::uint64_t key = kFnvOffsetBasis;
     key = FnvByte(key, static_cast<std::uint8_t>(kind));
     key = FnvWord(key, line);
-    key = FnvWord(key, write.when);
+    key = FnvWord(key, write.when.ns());
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(write.label));
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(read.label));
     if (!reported_.insert(key).second) return;

@@ -34,6 +34,7 @@
  * when built with WAVE_CHECK_ENABLED) and all instrumentation compiles
  * away when the WAVE_CHECK CMake option is OFF.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstddef>
@@ -69,7 +70,7 @@ struct AccessSite {
     Domain domain = Domain::kHost;
     std::size_t offset = 0;  ///< byte offset of the access
     std::size_t size = 0;    ///< bytes accessed
-    sim::TimeNs when = 0;    ///< simulated time of the access
+    sim::TimeNs when{};    ///< simulated time of the access
 };
 
 /** What kind of coherence rule a violation broke. */

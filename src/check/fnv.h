@@ -9,6 +9,7 @@
  * path, stateless (one word of state), and order-sensitive, so any
  * divergence in event execution order changes the final digest.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "check/hb.h"
 
 #include <algorithm>
@@ -29,10 +30,10 @@ HbRace::Describe() const
         "with %s %s by %s [%zu,+%zu)@%llu ns",
         RaceKindName(kind), line, second.is_write ? "write" : "read",
         second.label, second.actor, second.offset, second.size,
-        static_cast<unsigned long long>(second.when),
+        static_cast<unsigned long long>(second.when.ns()),
         first.is_write ? "write" : "read", first.label, first.actor,
         first.offset, first.size,
-        static_cast<unsigned long long>(first.when));
+        static_cast<unsigned long long>(first.when.ns()));
     return buf;
 }
 
@@ -173,7 +174,7 @@ HbRaceDetector::Report(std::size_t line, const Epoch& prev,
     key = FnvWord(key, line);
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(prev.site));
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(current.site));
-    key = FnvWord(key, prev.when);
+    key = FnvWord(key, prev.when.ns());
     if (!reported_.insert(key).second) return;
 
     const RaceKind kind = prev.when == current.when

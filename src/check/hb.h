@@ -32,6 +32,7 @@
  * annotated with AllowUnordered(), the analogue of the coherence
  * checker's tolerate_stale.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstddef>
@@ -68,7 +69,7 @@ struct RaceAccess {
     bool is_write = false;
     std::size_t offset = 0;
     std::size_t size = 0;
-    sim::TimeNs when = 0;
+    sim::TimeNs when{};
 };
 
 /** A conflicting access pair with no happens-before ordering. */
@@ -163,7 +164,7 @@ class HbRaceDetector {
         const char* site = "?";
         std::size_t offset = 0;
         std::size_t size = 0;
-        sim::TimeNs when = 0;
+        sim::TimeNs when{};
     };
 
     /** Shadow state of one 64-byte line. */

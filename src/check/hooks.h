@@ -8,6 +8,7 @@
  * -DWAVE_CHECK=OFF. The CMake option defines WAVE_CHECK_ENABLED and
  * defaults to ON, so tests and normal development builds always check.
  */
+// wave-domain: neutral
 #pragma once
 
 #ifdef WAVE_CHECK_ENABLED

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "check/protocol.h"
 
 #include <cstdio>
@@ -62,10 +63,10 @@ ProtocolViolation::Describe() const
         "%s: %s %s(id=%llu)@%llu ns conflicts with %s %s(id=%llu)@%llu ns",
         ProtocolViolationKindName(kind), DomainName(current.domain),
         current.label, static_cast<unsigned long long>(current.id),
-        static_cast<unsigned long long>(current.when),
+        static_cast<unsigned long long>(current.when.ns()),
         DomainName(previous.domain), previous.label,
         static_cast<unsigned long long>(previous.id),
-        static_cast<unsigned long long>(previous.when));
+        static_cast<unsigned long long>(previous.when.ns()));
     return buf;
 }
 
@@ -304,7 +305,7 @@ ProtocolChecker::Report(ProtocolViolationKind kind,
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(current.label));
     key = FnvWord(key, previous.id);
     key = FnvWord(key, reinterpret_cast<std::uintptr_t>(previous.label));
-    key = FnvWord(key, previous.when);
+    key = FnvWord(key, previous.when.ns());
     if (!reported_.insert(key).second) return;
 
     violations_.push_back(ProtocolViolation{kind, current, previous});

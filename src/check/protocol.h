@@ -21,6 +21,7 @@
  *
  * All hooks compile away under -DWAVE_CHECK=OFF (see check/hooks.h).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstddef>
@@ -90,7 +91,7 @@ struct ProtocolSite {
     const char* label = "?";  ///< e.g. "NicTxnEndpoint::TxnsCommit"
     Domain domain = Domain::kHost;
     std::uint64_t id = 0;   ///< txn id / seqnum / tid, per the kind
-    sim::TimeNs when = 0;   ///< simulated time of the action
+    sim::TimeNs when{};   ///< simulated time of the action
 };
 
 /** A detected protocol violation, with both participating sites. */

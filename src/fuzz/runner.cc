@@ -1,3 +1,4 @@
+// wave-domain: harness
 #include "fuzz/runner.h"
 
 #include <algorithm>
@@ -225,8 +226,7 @@ RunScenario(const Scenario& s)
     result.inject = injector.Stats();
     result.watchdog_expiries = supervisor.Stats().expiries;
     result.fallback_active = supervisor.Stats().fallback_active;
-    result.fallback_at =
-        static_cast<std::uint64_t>(supervisor.Stats().fallback_at);
+    result.fallback_at = supervisor.Stats().fallback_at.ns();
 
     if (runtime.Checker() != nullptr) {
         Collect(result, "coherence", runtime.Checker()->Violations(),

@@ -23,6 +23,7 @@
  * A fifth, determinism, is a two-run property: CheckDeterminism() runs
  * the scenario twice and compares event-stream fingerprints.
  */
+// wave-domain: harness
 #pragma once
 
 #include <string>

@@ -1,3 +1,4 @@
+// wave-domain: harness
 #include "fuzz/scenario.h"
 
 #include <algorithm>
@@ -136,8 +137,8 @@ GenerateScenario(std::uint64_t seed, const GenLimits& limits)
 
     const std::uint64_t nfaults =
         limits.max_faults == 0 ? 0 : Draw(fault, 0, limits.max_faults);
-    const sim::TimeNs lo = s.warmup_ns;
-    const sim::TimeNs hi = s.warmup_ns + (s.measure_ns * 3) / 4;
+    const std::uint64_t lo = s.warmup_ns;
+    const std::uint64_t hi = s.warmup_ns + (s.measure_ns * 3) / 4;
     bool crashed = false;
     for (std::uint64_t i = 0; i < nfaults; ++i) {
         FaultSpec f;
@@ -223,8 +224,9 @@ ScenarioToString(const Scenario& s)
         out << f.key << ' ' << s.*(f.member) << '\n';
     }
     for (const FaultSpec& f : s.faults) {
-        out << "fault " << FaultKindName(f.kind) << " at=" << f.at
-            << " dur=" << f.duration << " param=" << f.param << '\n';
+        out << "fault " << FaultKindName(f.kind) << " at=" << f.at.ns()
+            << " dur=" << f.duration.ns() << " param=" << f.param
+            << '\n';
     }
     return out.str();
 }

@@ -12,6 +12,7 @@
  * load generator's arrival process — so adding or removing faults never
  * perturbs the workload draws of the same seed.
  */
+// wave-domain: harness
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: harness
 #include "fuzz/shrink.h"
 
 #include <algorithm>

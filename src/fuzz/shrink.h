@@ -16,6 +16,7 @@
  * bounded by ShrinkOptions::max_runs; the best (smallest) failing
  * scenario found within budget is returned.
  */
+// wave-domain: harness
 #pragma once
 
 #include "fuzz/runner.h"

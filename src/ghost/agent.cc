@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "ghost/agent.h"
 
 #include <algorithm>
@@ -83,7 +84,7 @@ GhostAgent::HandleMessages(AgentContext& ctx)
                     model.running = front.decision.tid;
                     model.running_since = ctx.Sim().Now();
                     if (config_.use_kicks &&
-                        front.committed_at > message.payload) {
+                        front.committed_at > sim::TimeNs{message.payload}) {
                         ++stats_.kicks;
                         co_await transport_.AgentKick(message.core);
                     }

@@ -16,6 +16,7 @@
  *   5. issues preemption decisions (with a kick) when the policy's
  *      time slice expires (Shinjuku).
  */
+// wave-domain: host
 #pragma once
 
 #include <deque>
@@ -97,7 +98,7 @@ class GhostAgent : public Agent {
     /** What the agent believes about one host core. */
     struct CoreModel {
         Tid running = kNoThread;
-        sim::TimeNs running_since = 0;
+        sim::TimeNs running_since{};
         bool needs_decision = false;  ///< host is (or will be) idle
         bool preempt_inflight = false;
 

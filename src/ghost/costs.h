@@ -10,6 +10,7 @@
  * prestaging) come out of the same machinery that produces the Wave
  * rows when the transport is swapped.
  */
+// wave-domain: neutral
 #pragma once
 
 #include "sim/time.h"

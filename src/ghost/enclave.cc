@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "ghost/enclave.h"
 
 #include "check/hooks.h"

@@ -13,6 +13,7 @@
  * one that re-pulls thread state from the kernel, without touching
  * neighbouring enclaves.
  */
+// wave-domain: host
 #pragma once
 
 #include <functional>

@@ -14,6 +14,7 @@
  * the decision queue"; a tick is pure overhead unless the policy uses
  * it (Figure 5 measures exactly this overhead).
  */
+// wave-domain: host
 #pragma once
 
 #include <cstdint>

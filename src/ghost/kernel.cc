@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "ghost/kernel.h"
 
 #include "check/hooks.h"
@@ -113,7 +114,7 @@ KernelSched::SendEvent(MsgType type, Tid tid, int core)
     message.type = type;
     message.tid = tid;
     message.core = core;
-    message.payload = sim_.Now();
+    message.payload = sim_.Now().ns();
     ++stats_.messages_sent;
     co_await sim_.Delay(costs_.msg_prep_ns);
     co_await transport_.HostSendMessage(message);
@@ -210,7 +211,7 @@ KernelSched::CoreLoop(int core)
 
     ThreadRecord* current = nullptr;
     sim::DurationNs current_slice = 0;
-    sim::TimeNs stopped_at = 0;
+    sim::TimeNs stopped_at{};
     bool measuring = false;
     bool just_prefetched = false;
     // Consumed-but-not-yet-wanted prestage decisions: a safety kick can
@@ -311,7 +312,7 @@ KernelSched::CoreLoop(int core)
 
         // --- 3. run the thread ---
         if (measuring) {
-            stats_.ctx_switch_overhead.Record(sim_.Now() - stopped_at);
+            stats_.ctx_switch_overhead.Record((sim_.Now() - stopped_at).ns());
             measuring = false;
         }
         RunContext ctx{sim_, cpu, irq, current_slice};

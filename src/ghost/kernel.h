@@ -20,6 +20,7 @@
  *   5. prefetch the next decision, then update state and send the
  *      thread-event message (the §5.4 overlap), and repeat.
  */
+// wave-domain: host
 #pragma once
 
 #include <memory>

@@ -12,6 +12,7 @@
  * read costs unless write-through caching is enabled — which is why
  * decisions are kept to a single cache line (§5.3.2).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

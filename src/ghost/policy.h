@@ -9,6 +9,7 @@
  * core — policy portability is a design goal of both ghOSt and Wave
  * ("Keep Agents Modular", §6).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <optional>

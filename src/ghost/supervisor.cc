@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "ghost/supervisor.h"
 
 #include "check/hooks.h"

@@ -18,6 +18,7 @@
  *   3. calls KernelSched::ReannounceAll() so every runnable thread
  *      stranded in the dead agent's run queue reaches the fallback.
  */
+// wave-domain: host
 #pragma once
 
 #include <functional>
@@ -48,7 +49,7 @@ struct SupervisorConfig {
 struct SupervisorStats {
     std::uint64_t expiries = 0;
     bool fallback_active = false;
-    sim::TimeNs fallback_at = 0;
+    sim::TimeNs fallback_at{};
 };
 
 /** Supervises one Wave agent; falls back to a host agent on expiry. */

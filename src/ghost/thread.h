@@ -8,6 +8,7 @@
  * kernel context-switches to it. Bodies run until they block, yield,
  * exhaust a slice, or are preempted by an interrupt.
  */
+// wave-domain: host
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "ghost/transport.h"
 
 #include <cstring>
@@ -251,13 +252,18 @@ ShmSchedTransport::AttachCheckers(check::HbRaceDetector* hb,
         // as one producer actor (documented over-approximation).
         messages_.BindCheckers(
             hb, protocol,
-            hb != nullptr ? hb->RegisterActor("shm-msg-producers") : 0,
-            hb != nullptr ? hb->RegisterActor("shm-agent") : 0);
+            // Both sides of the shm baseline live on the host.
+            hb != nullptr  // wave-domain: host
+                ? hb->RegisterActor("shm-msg-producers")
+                : 0,
+            hb != nullptr  // wave-domain: host
+                ? hb->RegisterActor("shm-agent")
+                : 0);
         for (auto& [core, pc] : percore_) {
             (void)core;
-            const sim::ActorId agent =
+            const sim::ActorId agent =  // wave-domain: host
                 hb != nullptr ? hb->RegisterActor("shm-agent") : 0;
-            const sim::ActorId core_loop =
+            const sim::ActorId core_loop =  // wave-domain: host
                 hb != nullptr ? hb->RegisterActor("shm-core-loop") : 0;
             pc->decisions->BindCheckers(hb, protocol, agent, core_loop);
             pc->outcomes->BindCheckers(hb, protocol, core_loop, agent);

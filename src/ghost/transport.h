@@ -15,6 +15,7 @@
  * Every experiment's "On-Host vs Wave" comparison swaps this one object
  * and nothing else, exactly as the paper swaps deployments.
  */
+// wave-domain: host
 #pragma once
 
 #include <map>

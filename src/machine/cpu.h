@@ -8,6 +8,7 @@
  * simulated time. This is how the model captures both the ARM-vs-x86
  * per-cycle gap and turbo frequency changes (Figure 5) with one knob.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <string>
@@ -64,8 +65,8 @@ class Cpu {
     {
         WAVE_ASSERT(!busy_, "core %s is already busy", name_.c_str());
         busy_ = true;
-        const auto scaled = static_cast<sim::DurationNs>(
-            static_cast<double>(reference_ns) / domain_->Speed());
+        const auto scaled = sim::DurationNs::FromDouble(
+            reference_ns.ToDouble() / domain_->Speed());
         co_await sim_.Delay(scaled);
         busy_ns_ += scaled;
         busy_ = false;

@@ -8,15 +8,24 @@
  * 3.0 GHz). Only the parameters the experiments depend on are modelled;
  * they are all configurable.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "machine/cpu.h"
+#include "machine/cycles.h"
 #include "sim/simulator.h"
 
 namespace wave::machine {
+
+/**
+ * The reference clock: one host x86 core at maximum turbo (3.5 GHz).
+ * Work costs throughout the model are expressed in nanoseconds at this
+ * frequency; ClockDomain speed ratios scale them to other cores.
+ */
+inline constexpr FreqGhz kReferenceFreq{3.5};
 
 /** Testbed shape and speed parameters (defaults match the paper §7). */
 struct MachineConfig {
@@ -42,6 +51,15 @@ struct MachineConfig {
      * policy code in §7.4 (calibrated from the paper's SOL table).
      */
     double nic_speed = 0.61;
+
+    /**
+     * Nominal clock frequencies of the two domains. Distinct from the
+     * speed ratios above: speed folds in per-cycle IPC differences,
+     * while these are the raw clock rates used to convert between
+     * HostCycles/NicCycles and simulated time (machine/cycles.h).
+     */
+    FreqGhz host_freq = kReferenceFreq;
+    FreqGhz nic_freq{3.0};
 };
 
 /** The simulated testbed: host cores, NIC cores, and clock domains. */
@@ -73,6 +91,12 @@ class Machine {
 
     ClockDomain& HostDomain() { return host_domain_; }
     ClockDomain& NicDomain() { return nic_domain_; }
+
+    /** Host clock rate, for HostCycles <-> DurationNs conversions. */
+    FreqGhz HostFreq() const { return config_.host_freq; }
+
+    /** NIC clock rate, for NicCycles <-> DurationNs conversions. */
+    FreqGhz NicFreq() const { return config_.nic_freq; }
 
     const MachineConfig& Config() const { return config_; }
 

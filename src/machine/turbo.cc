@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "machine/turbo.h"
 
 #include <algorithm>
@@ -28,14 +29,14 @@ TurboModel::Interpolate(const Curve& curve, int active)
     return curve.back().second;
 }
 
-double
-TurboModel::FrequencyGhz(int active_physical_cores,
-                         bool idle_cores_deep) const
+FreqGhz
+TurboModel::Frequency(int active_physical_cores,
+                      bool idle_cores_deep) const
 {
     const Curve& curve =
         idle_cores_deep ? config_.deep_idle : config_.shallow_idle;
     const double freq = Interpolate(curve, std::max(active_physical_cores, 1));
-    return std::max(freq, config_.base_ghz);
+    return FreqGhz{std::max(freq, config_.base_ghz)};
 }
 
 }  // namespace wave::machine

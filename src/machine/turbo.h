@@ -14,10 +14,13 @@
  * are calibrated so the reproduced Figure 5b endpoints match the paper
  * (+11.2% at 1 active vCPU, ~+9.7% at 31, +1.7% at 128).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <utility>
 #include <vector>
+
+#include "machine/cycles.h"
 
 namespace wave::machine {
 
@@ -49,8 +52,8 @@ class TurboModel {
      * @param active_physical_cores cores with at least one busy sibling.
      * @param idle_cores_deep true when idle cores sleep deeply (no ticks).
      */
-    double FrequencyGhz(int active_physical_cores,
-                        bool idle_cores_deep) const;
+    FreqGhz Frequency(int active_physical_cores,
+                      bool idle_cores_deep) const;
 
     const Config& GetConfig() const { return config_; }
 

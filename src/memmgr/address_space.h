@@ -10,6 +10,7 @@
  * The kernel remains the source of truth: an agent can be restarted
  * and re-pull everything from here (§6).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,7 @@
  * amortization) — exactly the overhead SOL's Thompson-sampled scan
  * frequencies attack. bench_memmgr_policies quantifies the trade.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <vector>
@@ -119,7 +120,7 @@ class ClockPolicy : public MemPolicy {
 
   private:
     struct BatchState {
-        sim::TimeNs next_scan = 0;
+        sim::TimeNs next_scan{};
         int idle_sweeps = 0;
         Tier tier = Tier::kFast;
     };

@@ -10,6 +10,7 @@
  * conventional alternative (§4.2). The SolAgent drives either through
  * this interface, so the two can be compared like-for-like.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <string>

@@ -9,6 +9,7 @@
  * fault storms (e.g. a mis-classified hot batch) show up as growing
  * fault latency rather than a constant penalty.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>
@@ -54,7 +55,7 @@ class SwapDevice {
         const auto bytes = static_cast<double>(pages * kPageSize);
         sim::DurationNs duration =
             config_.op_latency_ns +
-            static_cast<sim::DurationNs>(bytes / config_.bytes_per_ns);
+            sim::DurationNs::FromDouble(bytes / config_.bytes_per_ns);
         if (injector_ != nullptr) {
             // Delay spike (e.g. device GC pause): queued behind the
             // channel, so a spike inflates every waiter's latency.
@@ -64,7 +65,7 @@ class SwapDevice {
         channels_.Release();
         ++operations_;
         pages_moved_ += pages;
-        latency_.Record(sim_.Now() - start);
+        latency_.Record((sim_.Now() - start).ns());
     }
 
     /** Convenience single-page fault-in. */

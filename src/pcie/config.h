@@ -8,6 +8,7 @@
  * comes from this struct, so experiments can swap interconnects (e.g.
  * the §7.3.3 UPI emulation) by swapping configs.
  */
+// wave-domain: pcie
 #pragma once
 
 #include "sim/time.h"

@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "pcie/dma.h"
 
 #include "check/coherence.h"
@@ -15,12 +16,10 @@ DmaEngine::TransferAsync(DmaInitiator initiator, MemoryRegion& src,
     // local registers.
     if (initiator == DmaInitiator::kHost) {
         co_await sim_.Delay(
-            config_.mmio_write_ns *
-            static_cast<sim::DurationNs>(config_.dma_doorbell_writes));
+            config_.mmio_write_ns * config_.dma_doorbell_writes);
     } else {
         co_await sim_.Delay(config_.nic_wb_access_ns *
-                            static_cast<sim::DurationNs>(
-                                config_.dma_doorbell_writes));
+                            config_.dma_doorbell_writes);
     }
     auto completion = std::make_shared<DmaCompletion>(sim_);
     sim_.Spawn(

@@ -14,6 +14,7 @@
  * awaited synchronously or polled asynchronously (iPipe's asynchronous
  * DMA insight, 2-7x better throughput).
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>
@@ -110,8 +111,8 @@ class DmaEngine {
             config_.dma_bytes_per_ns *
             (numa_local_ ? 1.0 : config_.dma_remote_numa_factor);
         return config_.dma_setup_ns +
-               static_cast<sim::DurationNs>(static_cast<double>(n) /
-                                            bandwidth);
+               sim::DurationNs::FromDouble(static_cast<double>(n) /
+                                           bandwidth);
     }
 
     std::uint64_t TransfersStarted() const { return transfers_; }

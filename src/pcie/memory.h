@@ -6,6 +6,7 @@
  * region itself has no timing; timing comes from the access paths laid
  * over it (MmioMapping, DmaEngine, or zero-cost local access).
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstddef>

@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "pcie/mmio.h"
 
 #include <algorithm>
@@ -86,8 +87,7 @@ HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
 {
     const std::size_t words = WordsIn(n);
     stats_.pcie_reads += words;
-    co_await dram_.Sim().Delay(config_.mmio_read_ns *
-                                   static_cast<sim::DurationNs>(words) +
+    co_await dram_.Sim().Delay(config_.mmio_read_ns * words +
                                ExtraPcieDelay());
     dram_.Backing().ReadRaw(offset, dst, n);
     WAVE_CHECK_HOOK({
@@ -238,8 +238,7 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
                 }
             });
             co_await dram_.Sim().Delay(
-                config_.wc_store_ns *
-                static_cast<sim::DurationNs>(WordsIn(n)));
+                config_.wc_store_ns * WordsIn(n));
         } else {
             // Multi-line store: issue line-by-line.
             std::size_t done = 0;
@@ -261,8 +260,7 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
     // 64-bit word, visible at the NIC after the one-way delay.
     const std::size_t words = WordsIn(n);
     stats_.posted_writes += words;
-    co_await dram_.Sim().Delay(config_.mmio_write_ns *
-                               static_cast<sim::DurationNs>(words));
+    co_await dram_.Sim().Delay(config_.mmio_write_ns * words);
     if (type_ == PteType::kWriteThrough || type_ == PteType::kWriteBack) {
         // Write-through updates any cached copy in place.
         constexpr std::size_t kLine = PcieConfig::kLineSize;
@@ -417,8 +415,8 @@ NicLocalMapping::NicLocalMapping(NicDram& dram, PteType type)
 sim::DurationNs
 NicLocalMapping::AccessCost(std::size_t n) const
 {
-    const auto words = static_cast<sim::DurationNs>(
-        (n + PcieConfig::kWordSize - 1) / PcieConfig::kWordSize);
+    const std::size_t words =
+        (n + PcieConfig::kWordSize - 1) / PcieConfig::kWordSize;
     const sim::DurationNs per_word = type_ == PteType::kUncacheable
                                          ? config_.nic_uncached_access_ns
                                          : config_.nic_wb_access_ns;

@@ -27,6 +27,7 @@
  * reading an entry before its valid flag lands) surface in simulation
  * exactly as they would on hardware.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>
@@ -162,7 +163,7 @@ class HostMmioMapping {
 
     struct CacheLine {
         std::vector<std::byte> data;  ///< empty while fill is in flight
-        sim::TimeNs fill_done = 0;    ///< when an in-flight fill lands
+        sim::TimeNs fill_done{};    ///< when an in-flight fill lands
         bool nic_dirtied = false;     ///< NIC wrote since we cached it
     };
 
@@ -204,7 +205,7 @@ class HostMmioMapping {
      * vary the posted delay, so landings are clamped to never precede
      * an older burst — PCIe posted writes cannot reorder.
      */
-    sim::TimeNs last_posted_visible_ = 0;
+    sim::TimeNs last_posted_visible_{};
 
     // Write-combining buffer: at most one line being combined.
     bool wc_active_ = false;

@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "pcie/msix.h"
 
 #include "check/coherence.h"

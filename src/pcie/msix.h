@@ -13,6 +13,7 @@
  * optimization from §5.1): sends while masked set only the pending bit,
  * which the host observes when it next polls.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

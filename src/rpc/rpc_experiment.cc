@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "rpc/rpc_experiment.h"
 
 #include <deque>
@@ -122,8 +123,8 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     // RPC stack's response path.
     stats::Histogram latency[2];
     std::uint64_t completed_in_window = 0;
-    const sim::TimeNs window_start = cfg.warmup_ns;
-    const sim::TimeNs window_end = cfg.warmup_ns + cfg.measure_ns;
+    const sim::TimeNs window_start{cfg.warmup_ns};
+    const sim::TimeNs window_end{cfg.warmup_ns + cfg.measure_ns};
 
     auto on_assign = [&](ghost::Tid tid, std::uint32_t slo) {
         if (mq_policy != nullptr) {
@@ -137,8 +138,8 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
                                         kind = request.kind](Request) {
             if (arrival >= window_start && arrival < window_end) {
                 ++completed_in_window;
-                latency[static_cast<std::size_t>(kind)].Record(sim.Now() -
-                                                               arrival);
+                latency[static_cast<std::size_t>(kind)].Record(
+                    (sim.Now() - arrival).ns());
             }
         });
     });
@@ -183,9 +184,9 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
         sim::Rng rng(c.seed);
         const double mean_gap_ns = 1e9 / c.offered_rps;
         std::uint64_t next_id = 1;
-        const sim::TimeNs end = c.warmup_ns + c.measure_ns;
+        const sim::TimeNs end{c.warmup_ns + c.measure_ns};
         while (s.Now() < end) {
-            co_await s.Delay(static_cast<sim::DurationNs>(
+            co_await s.Delay(sim::DurationNs::FromDouble(
                 rng.NextExponential(mean_gap_ns)));
             if (s.Now() >= end) break;
             Request request;

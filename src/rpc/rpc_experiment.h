@@ -19,6 +19,7 @@
  *   - Offload-All: RPC stack + scheduler both on the SmartNIC; RocksDB
  *     gets all 16 host cores; workers fetch requests via MMIO.
  */
+// wave-domain: host
 #pragma once
 
 #include "pcie/config.h"

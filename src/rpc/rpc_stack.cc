@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "rpc/rpc_stack.h"
 
 namespace wave::rpc {

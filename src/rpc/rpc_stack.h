@@ -15,6 +15,7 @@
  * steering decision pays MMIO reads, which is what sinks the
  * OnHost-Scheduler scenario in Figure 6.
  */
+// wave-domain: host
 #pragma once
 
 #include <functional>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sched/cfs_lite.h"
 
 #include <algorithm>
@@ -27,7 +28,8 @@ CfsLitePolicy::ChargeRunning(ghost::Tid tid, sim::TimeNs now)
     run_start_.erase(started);
     // vruntime advances inversely to weight: heavier threads age slower.
     vruntime_[tid] +=
-        ran * kDefaultWeight / std::max<std::uint32_t>(WeightOf(tid), 1);
+        (ran * kDefaultWeight / std::max<std::uint32_t>(WeightOf(tid), 1))
+            .ns();
 }
 
 void
@@ -42,14 +44,14 @@ CfsLitePolicy::OnMessage(const ghost::GhostMessage& message)
         break;
       case ghost::MsgType::kThreadYield:
       case ghost::MsgType::kThreadPreempted:
-        ChargeRunning(message.tid, message.payload);
+        ChargeRunning(message.tid, sim::TimeNs{message.payload});
         Enqueue(message.tid);
         break;
       case ghost::MsgType::kThreadBlocked:
-        ChargeRunning(message.tid, message.payload);
+        ChargeRunning(message.tid, sim::TimeNs{message.payload});
         break;
       case ghost::MsgType::kThreadDead:
-        ChargeRunning(message.tid, message.payload);
+        ChargeRunning(message.tid, sim::TimeNs{message.payload});
         dead_.insert(message.tid);
         break;
     }
@@ -60,7 +62,7 @@ CfsLitePolicy::CurrentSlice() const
 {
     const std::size_t nr = std::max<std::size_t>(queue_.size(), 1);
     return std::max(min_granularity_,
-                    sched_latency_ / static_cast<sim::DurationNs>(nr));
+                    sched_latency_ / nr);
 }
 
 std::optional<ghost::GhostDecision>

@@ -11,6 +11,7 @@
  * Deliberately "lite": no cgroup hierarchies, no load tracking (PELT),
  * no wake-affinity heuristics — the decision core only.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <map>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sched/fifo.h"
 
 namespace wave::sched {

@@ -7,6 +7,7 @@
  * interacts with the workload on every request, which is exactly why
  * the paper uses it to stress Wave's API and PCIe queues.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <deque>

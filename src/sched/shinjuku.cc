@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sched/shinjuku.h"
 
 #include "sim/logging.h"

@@ -15,6 +15,7 @@
  * scheduler to *know* the SLO — only possible when the RPC stack shares
  * its insight, i.e. when both are co-located.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sched/vm_policy.h"
 
 #include <deque>

@@ -10,6 +10,7 @@
  * timer ticks can be disabled — idle cores reach deep C-states and the
  * busy cores turbo higher, which Figure 5 measures.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <deque>

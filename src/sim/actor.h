@@ -15,6 +15,7 @@
  * coroutine suspension point would silently hand the ambient value to
  * an unrelated continuation.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/inject.h"
 
 #include "sim/logging.h"

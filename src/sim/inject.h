@@ -23,6 +23,7 @@
  * the same scenario produce bit-identical event streams — the property
  * the determinism-fingerprint oracle relies on.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>
@@ -53,7 +54,7 @@ const char* FaultKindName(FaultKind kind);
 /** One scheduled fault: a window [at, at+duration) plus a knob. */
 struct FaultSpec {
     FaultKind kind = FaultKind::kMsixDelay;
-    TimeNs at = 0;           ///< window start (virtual time)
+    TimeNs at{};              ///< window start (virtual time)
     DurationNs duration = 0; ///< window length; 0 = point fault
     std::uint64_t param = 0; ///< kind-specific (ns of delay, permille, ...)
 };

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/logging.h"
 
 #include <cstdarg>

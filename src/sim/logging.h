@@ -6,6 +6,7 @@
  * and aborts. Fatal() is for user/configuration errors: it prints and exits
  * with status 1. Warn()/Inform() report conditions without stopping.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdarg>

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/random.h"
 
 #include <algorithm>

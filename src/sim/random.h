@@ -8,6 +8,7 @@
  * Gamma (SOL's Thompson sampling). Everything is seeded explicitly so
  * simulation runs are reproducible.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

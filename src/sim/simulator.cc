@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/simulator.h"
 
 #include <utility>
@@ -96,7 +97,7 @@ Simulator::Step()
     // events contribute their explicit key so the hash is insensitive
     // to insertion-order shuffles; unkeyed events contribute their
     // insertion sequence number, which identical runs reproduce.
-    event_hash_ = check::FnvWord(event_hash_, ev.when);
+    event_hash_ = check::FnvWord(event_hash_, ev.when.ns());
     event_hash_ = check::FnvWord(
         event_hash_, ev.key != Event::kUnkeyed ? ev.key : ev.seq);
     event_hash_ = check::FnvByte(

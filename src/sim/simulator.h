@@ -20,6 +20,7 @@
  * inserted at a timestamp that already has pending events — the
  * situations where execution order silently depends on schedule order.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <coroutine>
@@ -186,7 +187,7 @@ class Simulator {
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
     std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
-    TimeNs now_ = 0;
+    TimeNs now_{};
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     std::uint64_t event_hash_ = check::kFnvOffsetBasis;

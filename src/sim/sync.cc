@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/sync.h"
 
 #include <memory>

@@ -7,6 +7,7 @@
  * awaitables and are resumed by events scheduled at the current simulated
  * time, so wakeups are ordered deterministically with everything else.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <coroutine>

@@ -20,6 +20,7 @@
  * nested tasks it is suspended inside — this is how the Simulator cleans
  * up processes that never finish (e.g. infinite server loops) at teardown.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <coroutine>

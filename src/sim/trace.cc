@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "sim/trace.h"
 
 #include <cstdarg>
@@ -90,7 +91,7 @@ Trace::Emit(const Simulator* sim, const std::string& category,
     ++State().emitted;
     if (sim != nullptr) {
         std::fprintf(stderr, "%12llu: %s: ",
-                     static_cast<unsigned long long>(sim->Now()),
+                     static_cast<unsigned long long>(sim->Now().ns()),
                      category.c_str());
     } else {
         std::fprintf(stderr, "           -: %s: ", category.c_str());

@@ -12,6 +12,7 @@
  * Tracing compiles in release builds but short-circuits on a single
  * branch when the category is off, so instrumented paths stay cheap.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

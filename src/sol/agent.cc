@@ -1,3 +1,4 @@
+// wave-domain: nic
 #include "sol/agent.h"
 
 #include "sim/sync.h"
@@ -47,8 +48,7 @@ SolAgent::ScanShard(machine::Cpu* cpu, std::size_t first, std::size_t last,
         }
     }
     *scanned += shard_scans;
-    co_await cpu->Work(policy_->ScanComputePerBatchNs() *
-                       static_cast<sim::DurationNs>(shard_scans));
+    co_await cpu->Work(policy_->ScanComputePerBatchNs() * shard_scans);
 }
 
 sim::Task<sim::DurationNs>
@@ -103,8 +103,7 @@ SolAgent::RunIteration()
 
     // --- 4. serial merge on the first worker CPU ---
     co_await deployment_.cpus[0]->Work(
-        policy_->MergeComputePerBatchNs() *
-        static_cast<sim::DurationNs>(total_scanned));
+        policy_->MergeComputePerBatchNs() * total_scanned);
 
     // --- epoch migration ---
     if (sim_.Now() >= next_epoch_) {
@@ -130,7 +129,7 @@ SolAgent::RunIteration()
 
     const sim::DurationNs duration = sim_.Now() - start;
     stats_.last_iteration_ns = duration;
-    stats_.iteration_ns.Record(duration);
+    stats_.iteration_ns.Record(duration.ns());
     ++stats_.iterations;
     co_return duration;
 }

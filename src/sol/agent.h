@@ -18,6 +18,7 @@
  *      the agent plans migrations and the host applies them through
  *      the madvise path (decisions DMA'd back when offloaded).
  */
+// wave-domain: nic
 #pragma once
 
 #include <memory>

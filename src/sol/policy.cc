@@ -1,3 +1,4 @@
+// wave-domain: nic
 #include "sol/policy.h"
 
 #include <algorithm>

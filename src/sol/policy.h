@@ -16,6 +16,7 @@
  * scanned batch pays posterior-update + sampling compute, calibrated
  * so the §7.4.2 per-iteration table reproduces.
  */
+// wave-domain: nic
 #pragma once
 
 #include <cstdint>
@@ -66,7 +67,7 @@ struct BatchState {
     double alpha = 1.0;  ///< Beta prior: accesses observed
     double beta = 1.0;   ///< Beta prior: quiet scans observed
     std::size_t period_index = 0;
-    sim::TimeNs next_scan = 0;
+    sim::TimeNs next_scan{};
     memmgr::Tier tier = memmgr::Tier::kFast;
 };
 

@@ -1,7 +1,9 @@
+// wave-domain: neutral
 #include "stats/histogram.h"
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "sim/logging.h"
 
@@ -75,13 +77,8 @@ Histogram::Percentile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     // Rank of the target sample (1-based), ceil(q * count), at least 1.
     const double target_f = q * static_cast<double>(count_);
-    std::uint64_t target =
-        static_cast<std::uint64_t>(target_f) +
-        ((target_f > static_cast<double>(static_cast<std::uint64_t>(
-                         target_f)))
-             ? 1
-             : 0);
-    target = std::max<std::uint64_t>(target, 1);
+    const std::uint64_t target = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(std::ceil(target_f)), 1);
 
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {

@@ -8,6 +8,7 @@
  * driver uses to report p50/p99/p99.9 latencies in the reproduced
  * figures.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>

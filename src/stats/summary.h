@@ -3,11 +3,13 @@
  * Latency summary: the standard percentile set extracted from a
  * histogram, with a compact formatter for logs and bench output.
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "sim/time.h"
 #include "stats/histogram.h"
 #include "stats/table.h"
 
@@ -45,7 +47,7 @@ struct Summary {
     ToString() const
     {
         auto us = [](std::uint64_t ns) {
-            return Table::Fmt("%.1fus", static_cast<double>(ns) / 1e3);
+            return Table::Fmt("%.1fus", sim::ToUs(sim::DurationNs{ns}));
         };
         return Table::Fmt("n=%llu mean=%.1fus p50=%s p90=%s p99=%s "
                           "p99.9=%s max=%s",

@@ -1,3 +1,4 @@
+// wave-domain: neutral
 #include "stats/table.h"
 
 #include <cstdarg>

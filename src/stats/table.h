@@ -6,6 +6,7 @@
  * printer renders aligned columns so the output reads like the paper's
  * artifact (plus a `paper=` reference column where applicable).
  */
+// wave-domain: neutral
 #pragma once
 
 #include <cstdio>

@@ -10,6 +10,7 @@
  * MMIO or DMA (SET_QUEUE_TYPE) depending on the subsystem's
  * latency/throughput needs.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "wave/runtime.h"
 
 #include <algorithm>

@@ -9,6 +9,7 @@
  * allocates MSI-X vectors, and runs agents on SmartNIC cores
  * (START_WAVE_AGENT / KILL_WAVE_AGENT).
  */
+// wave-domain: pcie
 #pragma once
 
 #include <memory>
@@ -95,7 +96,7 @@ class AgentContext {
     sim::Simulator& sim_;
     machine::Cpu& cpu_;
     bool stop_ = false;
-    sim::TimeNs stall_until_ = 0;
+    sim::TimeNs stall_until_{};
 };
 
 /** Handle returned by StartWaveAgent. */

@@ -9,6 +9,7 @@
  * in §7 compare system software running over this queue (on-host)
  * against the same software over Wave's PCIe queues (offloaded).
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

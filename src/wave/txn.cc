@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "wave/txn.h"
 
 #include "check/coherence.h"

@@ -13,6 +13,7 @@
  * (e.g. ghost::KernelSched checks that the scheduled thread is still
  * runnable); Wave transports the decision and its outcome.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <cstdint>

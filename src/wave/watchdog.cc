@@ -1,3 +1,4 @@
+// wave-domain: pcie
 #include "wave/watchdog.h"
 
 #include "check/hooks.h"
@@ -72,7 +73,7 @@ Watchdog::Monitor()
             WAVE_TRACE_EVENT(&sim_, "watchdog",
                              "expired: no decision for %llu ns",
                              static_cast<unsigned long long>(
-                                 sim_.Now() - last_decision_));
+                                 (sim_.Now() - last_decision_).ns()));
             on_expire_();
             co_return;
         }

@@ -12,6 +12,7 @@
  * Recovery is simple because the host kernel stays the source of truth
  * for non-policy state (§6): a restarted agent just re-pulls state.
  */
+// wave-domain: pcie
 #pragma once
 
 #include <functional>
@@ -67,7 +68,7 @@ class Watchdog {
     sim::DurationNs timeout_;
     sim::DurationNs check_interval_;
     std::function<void()> on_expire_;
-    sim::TimeNs last_decision_ = 0;
+    sim::TimeNs last_decision_{};
     bool armed_ = false;
     bool expired_ = false;
     std::uint64_t generation_ = 0;  ///< invalidates stale monitor loops

@@ -11,6 +11,7 @@
  * time the kernel steals is exactly the overhead Figure 5's flat 1.7%
  * component measures.
  */
+// wave-domain: host
 #pragma once
 
 #include "ghost/thread.h"

@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "workload/kv_service.h"
 
 namespace wave::workload {
@@ -58,7 +59,7 @@ KvService::OnWorkerDone(int worker_index, const Request& request)
                request.arrival < window_end_) {
         ++completed_in_window_;
         latency_[static_cast<std::size_t>(request.kind)].Record(
-            sim_.Now() - request.arrival);
+            (sim_.Now() - request.arrival).ns());
     }
     if (!pending_.empty()) {
         Request next = std::move(pending_.front());

@@ -13,6 +13,7 @@
  * Request latency is measured arrival -> completion, per request kind,
  * within a configurable measurement window.
  */
+// wave-domain: host
 #pragma once
 
 #include <deque>
@@ -100,8 +101,8 @@ class KvService {
     std::deque<Request> pending_;
     std::function<void(const Request&)> completion_hook_;
     stats::Histogram latency_[2];
-    sim::TimeNs window_start_ = 0;
-    sim::TimeNs window_end_ = ~0ull;
+    sim::TimeNs window_start_{};
+    sim::TimeNs window_end_{~0ull};
     std::uint64_t completed_ = 0;
     std::uint64_t completed_in_window_ = 0;
 };

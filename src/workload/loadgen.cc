@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "workload/loadgen.h"
 
 namespace wave::workload {
@@ -12,7 +13,7 @@ RunLoadGenerator(sim::Simulator& sim, KvService& service,
 
     while (sim.Now() < config.end_time) {
         const double gap = rng.NextExponential(mean_gap_ns);
-        co_await sim.Delay(static_cast<sim::DurationNs>(gap));
+        co_await sim.Delay(sim::DurationNs::FromDouble(gap));
         if (sim.Now() >= config.end_time) break;
 
         Request request;

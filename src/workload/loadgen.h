@@ -9,6 +9,7 @@
  * backs up, so tail latency explodes past saturation, producing the
  * throughput-latency curves of Figures 4 and 6.
  */
+// wave-domain: host
 #pragma once
 
 #include "sim/random.h"
@@ -35,7 +36,7 @@ struct LoadGenConfig {
     std::uint32_t range_slo = 1;
 
     /** Generation stops at this simulated time. */
-    sim::TimeNs end_time = 0;
+    sim::TimeNs end_time{};
 
     std::uint64_t seed = 1;
 };

@@ -7,6 +7,7 @@
  * queries. Requests carry an SLO class for the multi-queue Shinjuku
  * policy (§7.3.2): GETs are class 0 (strict), RANGEs class 1.
  */
+// wave-domain: host
 #pragma once
 
 #include <cstdint>
@@ -26,7 +27,7 @@ struct Request {
     std::uint64_t id = 0;
     RequestKind kind = RequestKind::kGet;
     std::uint32_t slo_class = 0;
-    sim::TimeNs arrival = 0;
+    sim::TimeNs arrival{};
     sim::DurationNs service_ns = 0;
 };
 

@@ -1,3 +1,4 @@
+// wave-domain: host
 #include "workload/sched_experiment.h"
 
 #include <algorithm>
@@ -85,7 +86,8 @@ RunSchedExperiment(const SchedExperimentConfig& cfg)
     };
     KvService service(sim, kernel, cfg.num_workers, /*first_tid=*/1000,
                       on_assign);
-    service.SetMeasureWindow(cfg.warmup_ns, cfg.warmup_ns + cfg.measure_ns);
+    service.SetMeasureWindow(sim::TimeNs{cfg.warmup_ns},
+                             sim::TimeNs{cfg.warmup_ns + cfg.measure_ns});
 
     kernel.Start(worker_cores);
 
@@ -94,11 +96,11 @@ RunSchedExperiment(const SchedExperimentConfig& cfg)
     lg.get_fraction = cfg.get_fraction;
     lg.get_service_ns = cfg.get_service_ns;
     lg.range_service_ns = cfg.range_service_ns;
-    lg.end_time = cfg.warmup_ns + cfg.measure_ns;
+    lg.end_time = sim::TimeNs{cfg.warmup_ns + cfg.measure_ns};
     lg.seed = cfg.seed;
     sim.Spawn(RunLoadGenerator(sim, service, lg));
 
-    sim.RunUntil(cfg.warmup_ns + cfg.measure_ns);
+    sim.RunUntil(sim::TimeNs{cfg.warmup_ns + cfg.measure_ns});
 
     SchedExperimentResult result;
     result.completed = service.CompletedInWindow();

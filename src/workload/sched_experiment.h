@@ -9,6 +9,7 @@
  * this; the §7.2.2 optimization-ladder bench sweeps OptimizationConfig;
  * tests pin single points.
  */
+// wave-domain: host
 #pragma once
 
 #include <memory>

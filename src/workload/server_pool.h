@@ -7,6 +7,7 @@
  * serialization, etc. Each worker CPU loops: take a job, execute its
  * cost on the CPU, run its completion.
  */
+// wave-domain: host
 #pragma once
 
 #include <functional>

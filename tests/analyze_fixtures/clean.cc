@@ -1,0 +1,13 @@
+// Fixture: well-behaved model file -> zero findings.
+// wave-domain: nic
+#include "sim/time.h"
+
+namespace wave::fixture {
+
+inline wave::sim::DurationNs
+Twice(wave::sim::DurationNs d)
+{
+    return d * 2;
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,15 @@
+// Fixture: same W007 violation as w007_wall_clock.cc, but carrying an
+// inline suppression -> zero findings.
+// wave-domain: neutral
+#include <cstdlib>
+
+namespace wave::fixture {
+
+inline int
+Jitter()
+{
+    // wave-analyze: allow(W007 fixture exercising the suppression path)
+    return std::rand() % 7;
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,12 @@
+// Fixture: model file with no domain annotation at all -> W001.
+#include <cstdint>
+
+namespace wave::fixture {
+
+inline std::uint64_t
+Identity(std::uint64_t v)
+{
+    return v;
+}
+
+}  // namespace wave::fixture

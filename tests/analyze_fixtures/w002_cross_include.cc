@@ -1,0 +1,10 @@
+// Fixture: host-domain file reaching straight into the NIC-side SOL
+// agent instead of going through the pcie seam -> W002.
+// wave-domain: host
+#include "sol/agent.h"
+
+namespace wave::fixture {
+
+void TouchNicState();
+
+}  // namespace wave::fixture

@@ -1,0 +1,14 @@
+// Fixture: NIC-domain file naming a host-owned symbol -> W003.
+// wave-domain: nic
+#include <cstdint>
+
+namespace wave::fixture {
+
+void
+PeekAtHost()
+{
+    workload::LoadGenConfig config;
+    (void)config;
+}
+
+}  // namespace wave::fixture

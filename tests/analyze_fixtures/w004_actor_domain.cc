@@ -1,0 +1,14 @@
+// Fixture: actor registration with no domain in the label and no
+// wave-domain comment on the call site -> W004.
+// wave-domain: host
+#include "sim/actor.h"
+
+namespace wave::fixture {
+
+inline wave::sim::ActorId
+MakeActor(wave::sim::ActorRegistry& registry)
+{
+    return registry.RegisterActor("core-loop");
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,16 @@
+// Fixture: checker instrumentation call sitting bare in model code,
+// outside WAVE_CHECK_HOOK and any WAVE_CHECK_ENABLED gate -> W005.
+// wave-domain: pcie
+namespace wave::fixture {
+
+struct Checker {
+    void OnWrite(unsigned addr, unsigned size);
+};
+
+void
+StoreWord(Checker* checker)
+{
+    checker->OnWrite(0, 8);
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,16 @@
+// Fixture: optimistic read tolerating staleness without the mandatory
+// same-line justification comment -> W006.
+// wave-domain: pcie
+namespace wave::fixture {
+
+struct Mapping {
+    unsigned Read(unsigned addr, bool tolerate_stale);
+};
+
+unsigned
+PollHead(Mapping& map)
+{
+    return map.Read(64, /*tolerate_stale=*/true);
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,13 @@
+// Fixture: determinism-hostile RNG in model code -> W007.
+// wave-domain: neutral
+#include <cstdlib>
+
+namespace wave::fixture {
+
+inline int
+Jitter()
+{
+    return std::rand() % 7;
+}
+
+}  // namespace wave::fixture

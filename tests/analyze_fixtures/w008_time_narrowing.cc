@@ -1,0 +1,14 @@
+// Fixture: ad-hoc time->double cast bypassing the sanctioned
+// sim/time.h bridge -> W008.
+// wave-domain: neutral
+#include "sim/time.h"
+
+namespace wave::fixture {
+
+inline double
+LatencyUs(wave::sim::DurationNs d)
+{
+    return static_cast<double>(d.ns()) / 1e3;
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end tests for tools/wave_analyze.
+ *
+ * Two halves:
+ *  - planted-violation fixtures under tests/analyze_fixtures/, one per
+ *    rule W001..W008, each asserted to trip exactly the rule it plants
+ *    (plus suppression and clean-file fixtures asserted silent);
+ *  - a clean-tree run over the real src/ with the shipped baseline,
+ *    asserted to report zero violations — the same invocation the
+ *    `analyze` build target and CI run.
+ *
+ * The analyzer binary location and the repo root are injected by CMake
+ * as WAVE_ANALYZE_BIN / WAVE_SOURCE_ROOT compile definitions.
+ */
+// wave-domain: harness
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef WAVE_ANALYZE_BIN
+#error "WAVE_ANALYZE_BIN must be defined by the build"
+#endif
+#ifndef WAVE_SOURCE_ROOT
+#error "WAVE_SOURCE_ROOT must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+    int exit_code = -1;
+    std::string output;
+};
+
+/** Run a shell command, capturing interleaved stdout+stderr. */
+RunResult
+Exec(const std::string& cmd)
+{
+    RunResult r;
+    const std::string full = cmd + " 2>&1";
+    FILE* pipe = popen(full.c_str(), "r");
+    if (pipe == nullptr) return r;
+    std::array<char, 4096> buf;
+    std::size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+        r.output.append(buf.data(), n);
+    }
+    const int status = pclose(pipe);
+    if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+    return r;
+}
+
+const std::string kBin = WAVE_ANALYZE_BIN;
+const std::string kRoot = WAVE_SOURCE_ROOT;
+const std::string kFixtures = kRoot + "/tests/analyze_fixtures";
+
+/** Analyze one fixture file in model mode against the real tree. */
+RunResult
+AnalyzeFixture(const std::string& name)
+{
+    return Exec(kBin + " --root " + kRoot + " --as-src " + kFixtures +
+               "/" + name);
+}
+
+/** Planted fixture must trip its rule and exit with findings (1). */
+void
+ExpectDetected(const std::string& fixture, const std::string& rule)
+{
+    const RunResult r = AnalyzeFixture(fixture);
+    EXPECT_EQ(r.exit_code, 1) << fixture << ":\n" << r.output;
+    EXPECT_NE(r.output.find(rule), std::string::npos)
+        << fixture << " did not trip " << rule << ":\n"
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, W001MissingDomain)
+{
+    ExpectDetected("w001_missing_domain.cc", "W001");
+}
+
+TEST(AnalyzeFixtures, W002CrossDomainInclude)
+{
+    ExpectDetected("w002_cross_include.cc", "W002");
+}
+
+TEST(AnalyzeFixtures, W003CrossDomainSymbol)
+{
+    ExpectDetected("w003_cross_symbol.cc", "W003");
+}
+
+TEST(AnalyzeFixtures, W004ActorWithoutDomain)
+{
+    ExpectDetected("w004_actor_domain.cc", "W004");
+}
+
+TEST(AnalyzeFixtures, W005UngatedCheckerCall)
+{
+    ExpectDetected("w005_hook_gate.cc", "W005");
+}
+
+TEST(AnalyzeFixtures, W006StaleWithoutReason)
+{
+    ExpectDetected("w006_stale_reason.cc", "W006");
+}
+
+TEST(AnalyzeFixtures, W007WallClockRng)
+{
+    ExpectDetected("w007_wall_clock.cc", "W007");
+}
+
+TEST(AnalyzeFixtures, W008TimeNarrowing)
+{
+    ExpectDetected("w008_time_narrowing.cc", "W008");
+}
+
+TEST(AnalyzeFixtures, InlineSuppressionSilencesFinding)
+{
+    const RunResult r = AnalyzeFixture("suppressed.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 suppressed"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, CleanFixtureHasNoFindings)
+{
+    const RunResult r = AnalyzeFixture("clean.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("wave_analyze: OK"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeTree, CleanTreeHasZeroViolations)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --baseline " + kRoot +
+            "/tools/wave_analyze_baseline.txt");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("wave_analyze: OK"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeTree, ListRulesCoversFullCatalog)
+{
+    const RunResult r = Exec(kBin + " --list-rules");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    for (const char* rule : {"W001", "W002", "W003", "W004", "W005",
+                             "W006", "W007", "W008"}) {
+        EXPECT_NE(r.output.find(rule), std::string::npos)
+            << "missing " << rule << ":\n"
+            << r.output;
+    }
+}
+
+}  // namespace

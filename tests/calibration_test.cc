@@ -101,9 +101,9 @@ TEST(Calibration, TurboCurveKnots)
     // The Figure 5b headline endpoint: one active core gains ~9.4%
     // from deep idle siblings (3.50 vs 3.20 GHz).
     const machine::TurboModel model;
-    EXPECT_DOUBLE_EQ(model.FrequencyGhz(1, /*idle_cores_deep=*/true),
+    EXPECT_DOUBLE_EQ(model.Frequency(1, /*idle_cores_deep=*/true).ghz(),
                      3.50);
-    EXPECT_DOUBLE_EQ(model.FrequencyGhz(1, /*idle_cores_deep=*/false),
+    EXPECT_DOUBLE_EQ(model.Frequency(1, /*idle_cores_deep=*/false).ghz(),
                      3.20);
 }
 

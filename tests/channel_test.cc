@@ -36,6 +36,7 @@ using pcie::PcieConfig;
 using pcie::PteType;
 using sim::Simulator;
 using sim::Task;
+using sim::DurationNs;
 using sim::TimeNs;
 
 Bytes
@@ -215,12 +216,12 @@ TEST(MmioQueueH2N, WrapsAcrossManyLaps)
 TEST(MmioQueueH2N, WcBatchingIsCheaperThanUncachedSends)
 {
     QueueConfig qc{.capacity = 64, .payload_size = 48};
-    TimeNs wc_cost = 0;
-    TimeNs uc_cost = 0;
+    DurationNs wc_cost{};
+    DurationNs uc_cost{};
 
     {
         HostToNicFixture f(qc, PteType::kWriteCombining);
-        f.sim.Spawn([](HostToNicFixture& fx, TimeNs& cost) -> Task<> {
+        f.sim.Spawn([](HostToNicFixture& fx, DurationNs& cost) -> Task<> {
             std::vector<Bytes> batch;
             for (std::uint64_t i = 0; i < 8; ++i) batch.push_back(Msg(i));
             const TimeNs t0 = fx.sim.Now();
@@ -231,7 +232,7 @@ TEST(MmioQueueH2N, WcBatchingIsCheaperThanUncachedSends)
     }
     {
         HostToNicFixture f(qc, PteType::kUncacheable);
-        f.sim.Spawn([](HostToNicFixture& fx, TimeNs& cost) -> Task<> {
+        f.sim.Spawn([](HostToNicFixture& fx, DurationNs& cost) -> Task<> {
             std::vector<Bytes> batch;
             for (std::uint64_t i = 0; i < 8; ++i) batch.push_back(Msg(i));
             const TimeNs t0 = fx.sim.Now();
@@ -319,7 +320,7 @@ TEST(MmioQueueN2H, PrefetchMakesDecisionReadNearlyFree)
         co_await fx.sim.Delay(1000);
         const TimeNs t0 = fx.sim.Now();
         auto decision = co_await fx.consumer.Poll(false);
-        const TimeNs cost = fx.sim.Now() - t0;
+        const DurationNs cost = fx.sim.Now() - t0;
         CO_ASSERT(decision.has_value());
         EXPECT_EQ(MsgValue(*decision), 44u);
         EXPECT_LE(cost, c.cache_hit_ns);
@@ -403,7 +404,7 @@ TEST(DmaQueue, AsyncSendReturnsBeforeDataLands)
     f.sim.Spawn([](DmaFixture& fx, const PcieConfig& c) -> Task<> {
         const TimeNs t0 = fx.sim.Now();
         co_await fx.queue.Send(One(Msg(5)), /*sync=*/false);
-        const TimeNs kick_cost = fx.sim.Now() - t0;
+        const DurationNs kick_cost = fx.sim.Now() - t0;
         EXPECT_LT(kick_cost, c.dma_setup_ns)
             << "async send should return after the doorbell";
 
@@ -424,11 +425,11 @@ TEST(DmaQueue, LargeBatchAmortizesSetup)
     // per-message cost of 64 single-message sends (Floem/iPipe insight).
     QueueConfig qc{.capacity = 256, .payload_size = 48,
                    .sync_interval = 64};
-    TimeNs batched = 0;
-    TimeNs singles = 0;
+    DurationNs batched{};
+    DurationNs singles{};
     {
         DmaFixture f(qc, DmaInitiator::kNic);
-        f.sim.Spawn([](DmaFixture& fx, TimeNs& cost) -> Task<> {
+        f.sim.Spawn([](DmaFixture& fx, DurationNs& cost) -> Task<> {
             std::vector<Bytes> batch;
             for (std::uint64_t i = 0; i < 64; ++i) batch.push_back(Msg(i));
             const TimeNs t0 = fx.sim.Now();
@@ -439,7 +440,7 @@ TEST(DmaQueue, LargeBatchAmortizesSetup)
     }
     {
         DmaFixture f(qc, DmaInitiator::kNic);
-        f.sim.Spawn([](DmaFixture& fx, TimeNs& cost) -> Task<> {
+        f.sim.Spawn([](DmaFixture& fx, DurationNs& cost) -> Task<> {
             const TimeNs t0 = fx.sim.Now();
             for (std::uint64_t i = 0; i < 64; ++i) {
                 co_await fx.queue.Send(One(Msg(i)), true);

@@ -111,7 +111,7 @@ TEST(Determinism, EventHashInsensitiveToShuffledKeyedTieInsertion)
         std::vector<std::uint64_t> executed;
         for (std::uint64_t key : insertion_order) {
             // Three colliding timestamps, eight keyed events each.
-            sim.ScheduleAtKeyed(100 * (1 + key % 3), key,
+            sim.ScheduleAtKeyed(sim::TimeNs{100 * (1 + key % 3)}, key,
                                 [&executed, key] {
                                     executed.push_back(key);
                                 });
@@ -148,11 +148,11 @@ TEST(Determinism, UnkeyedEventsKeepFifoOrderAndDistinctHashes)
         sim::Simulator sim;
         std::vector<int> executed;
         if (swapped) {
-            sim.ScheduleAt(50, [&executed] { executed.push_back(2); });
-            sim.ScheduleAt(50, [&executed] { executed.push_back(1); });
+            sim.ScheduleAt(sim::TimeNs{50}, [&executed] { executed.push_back(2); });
+            sim.ScheduleAt(sim::TimeNs{50}, [&executed] { executed.push_back(1); });
         } else {
-            sim.ScheduleAt(50, [&executed] { executed.push_back(1); });
-            sim.ScheduleAt(50, [&executed] { executed.push_back(2); });
+            sim.ScheduleAt(sim::TimeNs{50}, [&executed] { executed.push_back(1); });
+            sim.ScheduleAt(sim::TimeNs{50}, [&executed] { executed.push_back(2); });
         }
         sim.Run();
         return std::pair{sim.EventHash(), executed};
@@ -234,7 +234,7 @@ FabricFingerprint(int injector_mode)
     if (injector_mode == 1) {
         injector.Arm({});
     } else if (injector_mode == 2) {
-        injector.Arm({{sim::inject::FaultKind::kMsixDelay, /*at=*/0,
+        injector.Arm({{sim::inject::FaultKind::kMsixDelay, /*at=*/sim::TimeNs{0},
                        /*duration=*/1'000'000, /*param=*/5'000}});
     }
 

@@ -184,11 +184,11 @@ TEST(CfsLite, PicksLowestVruntimeFirst)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
 
     // Thread 1 runs 2 ms then yields; thread 2 has lower vruntime now.
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     ASSERT_EQ(d->tid, 1);
     policy.OnMessage(Msg(MsgType::kThreadYield, 1, 2'000'000));
-    EXPECT_EQ(policy.PickNext(0, 2'000'000)->tid, 2);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{2'000'000})->tid, 2);
 }
 
 TEST(CfsLite, SliceShrinksWithLoad)
@@ -215,10 +215,10 @@ TEST(CfsLite, HeavierThreadsAgeSlower)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
 
     // Both run 2 ms each.
-    auto first = policy.PickNext(0, 0);
+    auto first = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(first.has_value());
     policy.OnMessage(Msg(MsgType::kThreadYield, first->tid, 2'000'000));
-    auto second = policy.PickNext(0, 2'000'000);
+    auto second = policy.PickNext(0, sim::TimeNs{2'000'000});
     ASSERT_TRUE(second.has_value());
     EXPECT_NE(second->tid, first->tid);
     policy.OnMessage(Msg(MsgType::kThreadYield, second->tid, 4'000'000));
@@ -231,7 +231,7 @@ TEST(CfsLite, PreemptsOnlyPastTheFairSlice)
 {
     CfsLitePolicy policy(6'000'000, 750'000);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    ASSERT_TRUE(policy.PickNext(0, 0).has_value());
+    ASSERT_TRUE(policy.PickNext(0, sim::TimeNs{0}).has_value());
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
     // One waiter: slice = 6 ms.
     EXPECT_FALSE(policy.ShouldPreempt(0, 1, 3'000'000));
@@ -248,7 +248,7 @@ TEST(CfsLite, FairnessOverManyRounds)
     std::uint64_t ran[3] = {0, 0, 0};
     std::uint64_t now = 0;
     for (int round = 0; round < 100; ++round) {
-        auto d = policy.PickNext(0, now);
+        auto d = policy.PickNext(0, sim::TimeNs{now});
         ASSERT_TRUE(d.has_value());
         // Uneven bursts: tid 1 runs 3 ms at a time, tid 2 runs 1 ms.
         const std::uint64_t burst =
@@ -269,10 +269,10 @@ TEST(CfsLite, DeadThreadsLeaveTheQueue)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
     policy.OnMessage(Msg(MsgType::kThreadDead, 1));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->tid, 2);
-    EXPECT_FALSE(policy.PickNext(0, 0).has_value());
+    EXPECT_FALSE(policy.PickNext(0, sim::TimeNs{0}).has_value());
 }
 
 }  // namespace
@@ -324,9 +324,9 @@ TEST(CfsLiteEndToEnd, TwoBusyThreadsShareACoreFairly)
     world.sim.RunFor(100'000'000);  // 100 ms
 
     const double total =
-        static_cast<double>(a->RanNs() + b->RanNs());
+        (a->RanNs() + b->RanNs()).ToDouble();
     EXPECT_GT(total, 80'000'000.0) << "the core must be mostly busy";
-    const double share_a = static_cast<double>(a->RanNs()) / total;
+    const double share_a = a->RanNs().ToDouble() / total;
     EXPECT_NEAR(share_a, 0.5, 0.1)
         << "equal-weight threads split the core evenly";
     EXPECT_GT(enclave.Kernel().Stats().preemptions, 20u)
@@ -383,8 +383,8 @@ TEST(VmScheduling, TicklessVcpuGetsMoreCycles)
     EXPECT_GT(tickless_ns, ticked_ns)
         << "tick handling must visibly steal vCPU cycles";
     // The loss should be in the ~1-2% ballpark (12.6 us per 1 ms).
-    const double loss = 1.0 - static_cast<double>(ticked_ns) /
-                                  static_cast<double>(tickless_ns);
+    const double loss = 1.0 - ticked_ns.ToDouble() /
+                                  tickless_ns.ToDouble();
     EXPECT_NEAR(loss, 0.0126, 0.008);
 }
 

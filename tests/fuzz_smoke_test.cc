@@ -154,7 +154,7 @@ TEST(FuzzSmoke, InjectedWindowsAreActuallyExercised)
     none.max_faults = 0;
     Scenario s = GenerateScenario(3, none);
     ASSERT_TRUE(s.faults.empty());
-    const sim::TimeNs mid = s.warmup_ns + s.measure_ns / 4;
+    const sim::TimeNs mid{s.warmup_ns + s.measure_ns / 4};
     s.faults.push_back({FaultKind::kMsixDelay, mid, 2'000'000, 8'000});
     s.faults.push_back(
         {FaultKind::kCommitFailBurst, mid + 500'000, 500'000, 0});

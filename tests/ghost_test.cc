@@ -39,7 +39,7 @@ TEST(CoreInterrupt, SleepInterruptibleRunsToDeadlineWhenQuiet)
     sim.Spawn([](Simulator& s, CoreInterrupt& i) -> Task<> {
         const auto slept = co_await i.SleepInterruptible(10_us);
         EXPECT_EQ(slept, 10'000u);
-        EXPECT_EQ(s.Now(), 10'000u);
+        EXPECT_EQ(s.Now().ns(), 10'000u);
     }(sim, irq));
     sim.Run();
 }

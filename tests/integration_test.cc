@@ -71,7 +71,7 @@ TEST(Integration, AgentWedgeWatchdogRestartKeepsServing)
 
     workload::LoadGenConfig lg;
     lg.rate_rps = 50'000;
-    lg.end_time = 200_ms;
+    lg.end_time = sim::TimeNs{200_ms};
     world.sim.Spawn(
         workload::RunLoadGenerator(world.sim, world.service, lg));
 
@@ -116,11 +116,11 @@ TEST(Integration, AgentWedgeWatchdogRestartKeepsServing)
     // Wedge the first agent at 30 ms without telling anyone.
     world.sim.Schedule(30_ms, [&] { world.runtime.KillWaveAgent(gen1); });
 
-    world.sim.RunUntil(60_ms);
+    world.sim.RunUntil(sim::TimeNs{60_ms});
     const std::uint64_t at_mid = world.service.Completed();
     EXPECT_TRUE(restarted) << "watchdog should have fired by now";
 
-    world.sim.RunUntil(200_ms);
+    world.sim.RunUntil(sim::TimeNs{200_ms});
     EXPECT_GT(world.service.Completed(), at_mid + 1000)
         << "service must keep completing requests after recovery";
 }
@@ -157,7 +157,7 @@ TEST(Integration, UpiBeatsPcieAtEqualCores)
     };
     const auto upi = run(pcie::PcieConfig::Upi(), 3.0 / 3.5);
     const auto pcie_nic = run(pcie::PcieConfig{}, 0.61);
-    EXPECT_LE(upi.get_p99, pcie_nic.get_p99 * 1.05)
+    EXPECT_LE(upi.get_p99.ToDouble(), pcie_nic.get_p99.ToDouble() * 1.05)
         << "a coherent interconnect must not be worse (§7.3.3)";
 }
 

@@ -24,7 +24,7 @@ TEST(Cpu, WorkAtReferenceSpeedTakesNominalTime)
 
     sim.Spawn([](Simulator& s, Cpu& c) -> Task<> {
         co_await c.Work(1000);
-        EXPECT_EQ(s.Now(), 1000u);
+        EXPECT_EQ(s.Now().ns(), 1000u);
     }(sim, cpu));
     sim.Run();
     EXPECT_EQ(cpu.BusyNs(), 1000u);
@@ -38,7 +38,7 @@ TEST(Cpu, SlowerDomainStretchesWork)
 
     sim.Spawn([](Simulator& s, Cpu& c) -> Task<> {
         co_await c.Work(1000);
-        EXPECT_EQ(s.Now(), 2000u);
+        EXPECT_EQ(s.Now().ns(), 2000u);
     }(sim, cpu));
     sim.Run();
 }
@@ -83,22 +83,22 @@ TEST(Machine, NicCoresAreSlowerThanHostCores)
 TEST(Turbo, FewActiveCoresGetMaxBoostWhenIdleCoresSleepDeep)
 {
     TurboModel turbo;
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(1, /*idle_cores_deep=*/true), 3.50);
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(1, /*idle_cores_deep=*/true).ghz(), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(8, true).ghz(), 3.50);
 }
 
 TEST(Turbo, ShallowIdleLimitsBoost)
 {
     TurboModel turbo;
-    EXPECT_LT(turbo.FrequencyGhz(1, /*idle_cores_deep=*/false),
-              turbo.FrequencyGhz(1, /*idle_cores_deep=*/true));
+    EXPECT_LT(turbo.Frequency(1, /*idle_cores_deep=*/false).ghz(),
+              turbo.Frequency(1, /*idle_cores_deep=*/true).ghz());
 }
 
 TEST(Turbo, FullyLoadedSocketConvergesRegardlessOfIdleState)
 {
     TurboModel turbo;
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(64, true),
-                     turbo.FrequencyGhz(64, false));
+    EXPECT_DOUBLE_EQ(turbo.Frequency(64, true).ghz(),
+                     turbo.Frequency(64, false).ghz());
 }
 
 TEST(Turbo, FrequencyIsMonotonicallyNonIncreasingInActiveCores)
@@ -107,7 +107,7 @@ TEST(Turbo, FrequencyIsMonotonicallyNonIncreasingInActiveCores)
     for (bool deep : {true, false}) {
         double prev = 1e9;
         for (int active = 1; active <= 64; ++active) {
-            const double f = turbo.FrequencyGhz(active, deep);
+            const double f = turbo.Frequency(active, deep).ghz();
             EXPECT_LE(f, prev) << "active=" << active << " deep=" << deep;
             prev = f;
         }
@@ -118,8 +118,8 @@ TEST(Turbo, NeverBelowBaseFrequency)
 {
     TurboModel turbo;
     for (int active = 1; active <= 128; ++active) {
-        EXPECT_GE(turbo.FrequencyGhz(active, true), 2.45);
-        EXPECT_GE(turbo.FrequencyGhz(active, false), 2.45);
+        EXPECT_GE(turbo.Frequency(active, true).ghz(), 2.45);
+        EXPECT_GE(turbo.Frequency(active, false).ghz(), 2.45);
     }
 }
 
@@ -130,14 +130,14 @@ TEST(Turbo, EdgeActivityLevelsClampToTheCurveEnds)
     // everything active at once); the curve must clamp, not extrapolate.
     TurboModel turbo;
     // Zero (or negative) active cores clamp to the 1-core knot.
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(0, true), 3.50);
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(-3, true), 3.50);
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(0, false), 3.20);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(0, true).ghz(), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(-3, true).ghz(), 3.50);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(0, false).ghz(), 3.20);
     // Beyond the last knot the curve holds its final value.
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(65, true),
-                     turbo.FrequencyGhz(64, true));
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(10'000, true),
-                     turbo.FrequencyGhz(64, true));
+    EXPECT_DOUBLE_EQ(turbo.Frequency(65, true).ghz(),
+                     turbo.Frequency(64, true).ghz());
+    EXPECT_DOUBLE_EQ(turbo.Frequency(10'000, true).ghz(),
+                     turbo.Frequency(64, true).ghz());
 }
 
 TEST(Turbo, KnotBoundariesAreExactAndSegmentsInterpolate)
@@ -146,13 +146,13 @@ TEST(Turbo, KnotBoundariesAreExactAndSegmentsInterpolate)
     const TurboModel::Config cfg;
     // Every configured knot must be reproduced exactly.
     for (const auto& [active, ghz] : cfg.deep_idle) {
-        EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(active, true), ghz);
+        EXPECT_DOUBLE_EQ(turbo.Frequency(active, true).ghz(), ghz);
     }
     for (const auto& [active, ghz] : cfg.shallow_idle) {
-        EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(active, false), ghz);
+        EXPECT_DOUBLE_EQ(turbo.Frequency(active, false).ghz(), ghz);
     }
     // Midpoint of the 16->32 deep segment: linear blend of 3.40/3.20.
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(24, true), 3.30);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(24, true).ghz(), 3.30);
 }
 
 TEST(Turbo, CurveHoldsUnderInjectedClockPerturbation)
@@ -163,11 +163,11 @@ TEST(Turbo, CurveHoldsUnderInjectedClockPerturbation)
     sim::Simulator sim;
     machine::Machine machine(sim, machine::MachineConfig{});
     TurboModel turbo;
-    const double before = turbo.FrequencyGhz(8, true);
+    const double before = turbo.Frequency(8, true).ghz();
     machine.NicDomain().SetSpeed(0.3);  // fault-window begin
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), before);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(8, true).ghz(), before);
     machine.NicDomain().SetSpeed(0.61);  // fault-window end
-    EXPECT_DOUBLE_EQ(turbo.FrequencyGhz(8, true), before);
+    EXPECT_DOUBLE_EQ(turbo.Frequency(8, true).ghz(), before);
 }
 
 // Property sweep: the deep-idle advantage must shrink as more cores
@@ -178,10 +178,10 @@ TEST_P(TurboGapTest, DeepIdleAdvantageShrinksWithLoad)
 {
     const auto [fewer, more] = GetParam();
     TurboModel turbo;
-    const double gap_fewer = turbo.FrequencyGhz(fewer, true) /
-                             turbo.FrequencyGhz(fewer, false);
+    const double gap_fewer = turbo.Frequency(fewer, true).ghz() /
+                             turbo.Frequency(fewer, false).ghz();
     const double gap_more =
-        turbo.FrequencyGhz(more, true) / turbo.FrequencyGhz(more, false);
+        turbo.Frequency(more, true).ghz() / turbo.Frequency(more, false).ghz();
     EXPECT_GE(gap_fewer, gap_more - 1e-9);
 }
 

@@ -23,7 +23,7 @@ TEST(ClockPolicy, AllBatchesDueAtStart)
 {
     ClockPolicy policy(ClockConfig{}, 8);
     for (std::size_t b = 0; b < 8; ++b) {
-        EXPECT_TRUE(policy.Due(b, 0));
+        EXPECT_TRUE(policy.Due(b, sim::TimeNs{0}));
     }
 }
 
@@ -31,10 +31,10 @@ TEST(ClockPolicy, UniformReschedule)
 {
     ClockConfig config;
     ClockPolicy policy(config, 2);
-    EXPECT_TRUE(policy.ScanBatch(0, 5, 0));
-    EXPECT_FALSE(policy.Due(0, config.scan_period_ns - 1));
-    EXPECT_TRUE(policy.Due(0, config.scan_period_ns));
-    EXPECT_FALSE(policy.ScanBatch(0, 5, 100))
+    EXPECT_TRUE(policy.ScanBatch(0, 5, sim::TimeNs{0}));
+    EXPECT_FALSE(policy.Due(0, sim::TimeNs{config.scan_period_ns - 1}));
+    EXPECT_TRUE(policy.Due(0, sim::TimeNs{config.scan_period_ns}));
+    EXPECT_FALSE(policy.ScanBatch(0, 5, sim::TimeNs{100}))
         << "not due yet: scan is a no-op";
 }
 
@@ -43,7 +43,7 @@ TEST(ClockPolicy, ColdAfterConsecutiveIdleSweeps)
     ClockConfig config;
     config.cold_sweeps = 3;
     ClockPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     for (int sweep = 0; sweep < 3; ++sweep) {
         EXPECT_TRUE(policy.ScanBatch(0, 0, now));
         now += config.scan_period_ns;
@@ -59,7 +59,7 @@ TEST(ClockPolicy, AnyTouchResetsTheSweepCounter)
     ClockConfig config;
     config.cold_sweeps = 3;
     ClockPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     policy.ScanBatch(0, 0, now);
     now += config.scan_period_ns;
     policy.ScanBatch(0, 0, now);
@@ -74,7 +74,7 @@ TEST(ClockPolicy, ReheatedBatchReturnsToFast)
     ClockConfig config;
     config.cold_sweeps = 2;
     ClockPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     for (int sweep = 0; sweep < 2; ++sweep) {
         policy.ScanBatch(0, 0, now);
         now += config.scan_period_ns;
@@ -123,9 +123,9 @@ TEST(ClockPolicy, ScansEveryBatchEveryPeriodUnlikeSol)
         deployment.cpus.push_back(&machine.HostCpu(0));
         sol::SolAgent agent(sim, space, deployment, std::move(policy));
         sim.Spawn([](sol::SolAgent& a) -> Task<> {
-            co_await a.RunUntil(20'000'000'000ull);  // 20 s
+            co_await a.RunUntil(sim::TimeNs{20'000'000'000ull});  // 20 s
         }(agent));
-        sim.RunUntil(20'000'000'000ull);
+        sim.RunUntil(sim::TimeNs{20'000'000'000ull});
         return agent.Stats().batches_scanned;
     };
 
@@ -158,7 +158,7 @@ TEST(SwapDevice, SinglePageFaultCostsLatencyPlusTransfer)
         co_await d.FaultIn();
         const auto expected =
             c.op_latency_ns +
-            static_cast<sim::DurationNs>(kPageSize / c.bytes_per_ns);
+            sim::DurationNs::FromDouble(kPageSize / c.bytes_per_ns);
         EXPECT_EQ(s.Now() - t0, expected);
     }(sim, device, config));
     sim.Run();
@@ -180,8 +180,9 @@ TEST(SwapDevice, ChannelsServeFaultsInParallel)
     sim.Run();
     const auto single =
         config.op_latency_ns +
-        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
-    EXPECT_EQ(sim.Now(), single) << "4 faults on 4 channels overlap fully";
+        sim::DurationNs::FromDouble(kPageSize / config.bytes_per_ns);
+    EXPECT_EQ(sim.Now(), sim::TimeNs{single})
+        << "4 faults on 4 channels overlap fully";
 }
 
 TEST(SwapDevice, FaultStormQueuesBeyondChannelCount)
@@ -199,8 +200,8 @@ TEST(SwapDevice, FaultStormQueuesBeyondChannelCount)
     // 8 ops, 2 channels -> 4 serialized rounds.
     const auto single =
         config.op_latency_ns +
-        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
-    EXPECT_EQ(sim.Now(), 4 * single);
+        sim::DurationNs::FromDouble(kPageSize / config.bytes_per_ns);
+    EXPECT_EQ(sim.Now(), sim::TimeNs{4 * single});
     // Queueing is visible in the recorded tail.
     EXPECT_GT(device.Latency().Percentile(0.99),
               device.Latency().Percentile(0.01));
@@ -219,11 +220,11 @@ TEST(SwapDevice, InjectedDelaySpikeInflatesOnlyTheWindow)
 
     const sim::DurationNs single =
         config.op_latency_ns +
-        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
+        sim::DurationNs::FromDouble(kPageSize / config.bytes_per_ns);
     const sim::DurationNs spike = 50'000;
     // Window covers the first operation only.
-    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/0,
-                   /*duration=*/single, /*param=*/spike}});
+    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/sim::TimeNs{0},
+                   /*duration=*/single, /*param=*/spike.ns()}});
 
     sim.Spawn([](Simulator& s, SwapDevice& d, sim::DurationNs base,
                  sim::DurationNs extra) -> Task<> {
@@ -251,8 +252,8 @@ TEST(SwapDevice, SpikeBehindSharedChannelDelaysEveryWaiter)
 
     const sim::DurationNs single =
         config.op_latency_ns +
-        static_cast<sim::DurationNs>(kPageSize / config.bytes_per_ns);
-    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/0,
+        sim::DurationNs::FromDouble(kPageSize / config.bytes_per_ns);
+    injector.Arm({{sim::inject::FaultKind::kSwapDelay, /*at=*/sim::TimeNs{0},
                    /*duration=*/1, /*param=*/100'000}});
 
     for (int i = 0; i < 3; ++i) {
@@ -263,7 +264,7 @@ TEST(SwapDevice, SpikeBehindSharedChannelDelaysEveryWaiter)
     sim.Run();
     // First op pays the spike; ops 2 and 3 run clean but queued behind
     // it, so completion is spike + 3 * single.
-    EXPECT_EQ(sim.Now(), 100'000u + 3 * single);
+    EXPECT_EQ(sim.Now(), sim::TimeNs{100'000 + 3 * single});
     EXPECT_EQ(injector.Stats().swap_delays, 1u);
 }
 

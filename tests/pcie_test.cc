@@ -336,8 +336,8 @@ TEST(MsiX, EndToEndLatencyMatchesTable2)
     PcieConfig cfg;
     MsiXVector vec(sim, cfg);
 
-    TimeNs send_start = 0;
-    TimeNs handler_entry = 0;
+    TimeNs send_start{};
+    TimeNs handler_entry{};
 
     auto sender = [](Simulator& s, MsiXVector& v, TimeNs& start) -> Task<> {
         start = s.Now();
@@ -411,9 +411,9 @@ TEST(Dma, SyncTransferMovesDataWithSetupPlusBandwidthCost)
         const std::size_t bytes = 8192;
         const TimeNs t0 = s.Now();
         co_await d.Transfer(DmaInitiator::kNic, src, 0, dst, 0, bytes);
-        const TimeNs expected =
+        const sim::DurationNs expected =
             c.nic_wb_access_ns * c.dma_doorbell_writes + c.dma_setup_ns +
-            static_cast<TimeNs>(bytes / c.dma_bytes_per_ns);
+            sim::DurationNs::FromDouble(bytes / c.dma_bytes_per_ns);
         EXPECT_EQ(s.Now() - t0, expected);
     }(sim, dma, host_mem, nic_mem, cfg));
 
@@ -440,8 +440,9 @@ TEST(Dma, AsyncTransferOverlapsWithCompute)
         // Overlap compute with the in-flight DMA.
         co_await s.Delay(500);
         co_await completion->Wait();
-        const TimeNs wire = c.dma_setup_ns +
-                            static_cast<TimeNs>(bytes / c.dma_bytes_per_ns);
+        const sim::DurationNs wire =
+            c.dma_setup_ns +
+            sim::DurationNs::FromDouble(bytes / c.dma_bytes_per_ns);
         EXPECT_EQ(s.Now() - after_kick, wire);
     }(sim, dma, host_mem, nic_mem, cfg));
 }
@@ -454,8 +455,8 @@ TEST(Dma, ChannelSerializesConcurrentTransfers)
     MemoryRegion nic_mem(1 << 16);
     DmaEngine dma(sim, cfg);
 
-    TimeNs done_a = 0;
-    TimeNs done_b = 0;
+    TimeNs done_a{};
+    TimeNs done_b{};
     auto xfer = [](DmaEngine& d, MemoryRegion& src, MemoryRegion& dst,
                    TimeNs& done, Simulator& s) -> Task<> {
         co_await d.Transfer(DmaInitiator::kNic, src, 0, dst, 0, 4096);
@@ -465,8 +466,9 @@ TEST(Dma, ChannelSerializesConcurrentTransfers)
     sim.Spawn(xfer(dma, host_mem, nic_mem, done_b, sim));
     sim.Run();
 
-    const TimeNs wire =
-        cfg.dma_setup_ns + static_cast<TimeNs>(4096 / cfg.dma_bytes_per_ns);
+    const sim::DurationNs wire =
+        cfg.dma_setup_ns +
+        sim::DurationNs::FromDouble(4096 / cfg.dma_bytes_per_ns);
     // The second transfer queued behind the first.
     EXPECT_GE(std::max(done_a, done_b) - std::min(done_a, done_b),
               wire - 1);
@@ -488,10 +490,10 @@ TEST_P(WcBatchTest, BatchingBeatsUncachedStores)
     HostMmioMapping wc(dram, PteType::kWriteCombining);
     HostMmioMapping uc(dram, PteType::kUncacheable);
 
-    TimeNs wc_cost = 0;
-    TimeNs uc_cost = 0;
+    sim::DurationNs wc_cost{};
+    sim::DurationNs uc_cost{};
     RunSim(sim, [](Simulator& s, HostMmioMapping& w, HostMmioMapping& u,
-                   int n, TimeNs& wcc, TimeNs& ucc) -> Task<> {
+                   int n, sim::DurationNs& wcc, sim::DurationNs& ucc) -> Task<> {
         TimeNs t0 = s.Now();
         for (int i = 0; i < n; ++i) {
             const std::uint64_t v = i;
@@ -509,9 +511,9 @@ TEST_P(WcBatchTest, BatchingBeatsUncachedStores)
     }(sim, wc, uc, words, wc_cost, uc_cost));
 
     EXPECT_LT(wc_cost, uc_cost);
-    const TimeNs expected_wc = words * cfg.wc_store_ns + cfg.sfence_ns;
+    const sim::DurationNs expected_wc = words * cfg.wc_store_ns + cfg.sfence_ns;
     EXPECT_EQ(wc_cost, expected_wc);
-    EXPECT_EQ(uc_cost, static_cast<TimeNs>(words) * cfg.mmio_write_ns);
+    EXPECT_EQ(uc_cost, words * cfg.mmio_write_ns);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WcBatchTest, ::testing::Values(2, 4, 8));
@@ -534,9 +536,9 @@ TEST(Dma, RemoteNumaPlacementLosesBandwidth)
     EXPECT_GT(remote_time, local_time);
     // 10-20% effective-bandwidth loss on the wire portion (§5.1).
     const double wire_local =
-        static_cast<double>(local_time - cfg.dma_setup_ns);
+        (local_time - cfg.dma_setup_ns).ToDouble();
     const double wire_remote =
-        static_cast<double>(remote_time - cfg.dma_setup_ns);
+        (remote_time - cfg.dma_setup_ns).ToDouble();
     EXPECT_NEAR(wire_local / wire_remote, cfg.dma_remote_numa_factor,
                 0.01);
 }

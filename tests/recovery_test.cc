@@ -46,7 +46,7 @@ TEST(Recovery, AgentCrashAtRandomizedPointsCompletesViaFallback)
         s.faults.push_back({FaultKind::kAgentCrash, at, 0, 0});
 
         const RunResult r = RunScenario(s);
-        EXPECT_TRUE(r.Ok()) << "seed " << seed << " crash@" << at << ":\n"
+        EXPECT_TRUE(r.Ok()) << "seed " << seed << " crash@" << at.ns() << ":\n"
                             << r.Describe();
         EXPECT_EQ(r.watchdog_expiries, 1u) << "seed " << seed;
         EXPECT_TRUE(r.fallback_active) << "seed " << seed;
@@ -70,7 +70,7 @@ TEST(Recovery, WedgedAgentTripsWatchdogAndFallsBack)
             {FaultKind::kAgentStall, at, 4 * s.watchdog_timeout_ns, 0});
 
         const RunResult r = RunScenario(s);
-        EXPECT_TRUE(r.Ok()) << "seed " << seed << " stall@" << at << ":\n"
+        EXPECT_TRUE(r.Ok()) << "seed " << seed << " stall@" << at.ns() << ":\n"
                             << r.Describe();
         EXPECT_EQ(r.watchdog_expiries, 1u) << "seed " << seed;
         EXPECT_TRUE(r.fallback_active) << "seed " << seed;
@@ -99,7 +99,7 @@ TEST(Recovery, CrashDuringCommitFailBurstStillRecovers)
     // Compound fault: the agent dies inside a window where the host is
     // rejecting commits — the fallback must still drain everything.
     Scenario s = BaseScenario(9);
-    const sim::TimeNs mid = s.warmup_ns + s.measure_ns / 3;
+    const sim::TimeNs mid{s.warmup_ns + s.measure_ns / 3};
     s.faults.push_back({FaultKind::kCommitFailBurst, mid, 2'000'000, 0});
     s.faults.push_back({FaultKind::kAgentCrash, mid + 300'000, 0, 0});
 
@@ -114,7 +114,7 @@ TEST(Recovery, FallbackArrivesWithinBoundedVirtualTime)
     // The recovery latency bound: kill the agent, and the watchdog must
     // fire within timeout + one check interval of the stall beginning.
     Scenario s = BaseScenario(10);
-    const sim::TimeNs at = s.warmup_ns + s.measure_ns / 2;
+    const sim::TimeNs at{s.warmup_ns + s.measure_ns / 2};
     s.faults.push_back({FaultKind::kAgentCrash, at, 0, 0});
 
     const RunResult r = RunScenario(s);
@@ -124,8 +124,8 @@ TEST(Recovery, FallbackArrivesWithinBoundedVirtualTime)
     // grace, polls every check interval, and the feed task samples on
     // its own interval — allow both quantization steps.
     const std::uint64_t bound =
-        at + s.watchdog_timeout_ns + 3 * s.watchdog_check_ns;
-    EXPECT_GE(r.fallback_at, static_cast<std::uint64_t>(at));
+        at.ns() + s.watchdog_timeout_ns + 3 * s.watchdog_check_ns;
+    EXPECT_GE(r.fallback_at, at.ns());
     EXPECT_LE(r.fallback_at, bound)
         << "watchdog took too long to declare the agent dead";
 }

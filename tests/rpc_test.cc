@@ -29,7 +29,7 @@ TEST(RpcStack, ProcessesIncomingWithProtocolCost)
     Request request;
     request.id = 1;
     bool delivered = false;
-    sim::TimeNs delivered_at = 0;
+    sim::TimeNs delivered_at{};
     stack.ProcessIncoming(request, [&](Request r) {
         EXPECT_EQ(r.id, 1u);
         delivered = true;
@@ -37,7 +37,7 @@ TEST(RpcStack, ProcessesIncomingWithProtocolCost)
     });
     sim.RunFor(100_us);
     EXPECT_TRUE(delivered);
-    EXPECT_EQ(delivered_at, RpcCosts{}.request_process_ns);
+    EXPECT_EQ(delivered_at, sim::TimeNs{RpcCosts{}.request_process_ns});
 }
 
 TEST(RpcStack, ResponsePathCostsLess)
@@ -49,14 +49,14 @@ TEST(RpcStack, ResponsePathCostsLess)
     stack.Start();
 
     bool sent = false;
-    sim::TimeNs sent_at = 0;
+    sim::TimeNs sent_at{};
     stack.ProcessResponse(Request{}, [&](Request) {
         sent = true;
         sent_at = sim.Now();
     });
     sim.RunFor(100_us);
     EXPECT_TRUE(sent);
-    EXPECT_EQ(sent_at, RpcCosts{}.response_process_ns);
+    EXPECT_EQ(sent_at, sim::TimeNs{RpcCosts{}.response_process_ns});
 }
 
 TEST(RpcStack, NicCoresProcessSlower)
@@ -68,8 +68,8 @@ TEST(RpcStack, NicCoresProcessSlower)
     host_stack.Start();
     nic_stack.Start();
 
-    sim::TimeNs host_done = 0;
-    sim::TimeNs nic_done = 0;
+    sim::TimeNs host_done{};
+    sim::TimeNs nic_done{};
     host_stack.ProcessIncoming(Request{}, [&](Request) {
         host_done = sim.Now();
     });
@@ -166,7 +166,7 @@ TEST(RpcScenarios, SloAwareSteeringImprovesGetTail)
     mq.multi_queue = true;
     const auto single = RunRpcExperiment(cfg);
     const auto multi = RunRpcExperiment(mq);
-    EXPECT_LE(multi.get_p99, single.get_p99 * 1.1)
+    EXPECT_LE(multi.get_p99.ToDouble(), single.get_p99.ToDouble() * 1.1)
         << "SLO awareness must not hurt GET tails near saturation";
 }
 

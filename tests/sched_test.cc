@@ -37,17 +37,17 @@ TEST(Fifo, PicksInArrivalOrder)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 3));
     EXPECT_EQ(policy.RunQueueDepth(), 3u);
 
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 1);
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 2);
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 3);
-    EXPECT_FALSE(policy.PickNext(0, 0).has_value());
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 2);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 3);
+    EXPECT_FALSE(policy.PickNext(0, sim::TimeNs{0}).has_value());
 }
 
 TEST(Fifo, DecisionTargetsTheRequestedCore)
 {
     FifoPolicy policy;
     policy.OnMessage(Msg(MsgType::kThreadCreated, 5));
-    auto d = policy.PickNext(3, 0);
+    auto d = policy.PickNext(3, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->core, 3);
     EXPECT_EQ(d->type, DecisionType::kRunThread);
@@ -58,11 +58,11 @@ TEST(Fifo, BlockedThreadIsNotRequeuedUntilWakeup)
 {
     FifoPolicy policy;
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    ASSERT_TRUE(policy.PickNext(0, 0).has_value());
+    ASSERT_TRUE(policy.PickNext(0, sim::TimeNs{0}).has_value());
     policy.OnMessage(Msg(MsgType::kThreadBlocked, 1));
-    EXPECT_FALSE(policy.PickNext(0, 0).has_value());
+    EXPECT_FALSE(policy.PickNext(0, sim::TimeNs{0}).has_value());
     policy.OnMessage(Msg(MsgType::kThreadWakeup, 1));
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 1);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1);
 }
 
 TEST(Fifo, DuplicateEnqueueIsIgnored)
@@ -79,10 +79,10 @@ TEST(Fifo, DeadThreadsAreNeverPicked)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
     policy.OnMessage(Msg(MsgType::kThreadDead, 1));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->tid, 2);
-    EXPECT_FALSE(policy.PickNext(0, 0).has_value());
+    EXPECT_FALSE(policy.PickNext(0, sim::TimeNs{0}).has_value());
 }
 
 TEST(Fifo, FailedCommitRequeuesAtFront)
@@ -90,17 +90,17 @@ TEST(Fifo, FailedCommitRequeuesAtFront)
     FifoPolicy policy;
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     policy.OnDecisionFailed(*d);
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 1) << "order preserved";
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1) << "order preserved";
 }
 
 TEST(Fifo, FailedCommitOfDeadThreadIsDropped)
 {
     FifoPolicy policy;
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     policy.OnMessage(Msg(MsgType::kThreadDead, 1));
     policy.OnDecisionFailed(*d);
@@ -128,7 +128,7 @@ TEST(Shinjuku, DecisionsCarryTheSlice)
 {
     ShinjukuPolicy policy(30'000);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->slice_ns, 30'000u);
 }
@@ -138,11 +138,11 @@ TEST(Shinjuku, PreemptedThreadGoesToQueueBack)
     ShinjukuPolicy policy(30'000);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
-    ASSERT_EQ(policy.PickNext(0, 0)->tid, 1);
+    ASSERT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1);
     // Thread 1 preempted: round-robin puts it behind thread 2.
     policy.OnMessage(Msg(MsgType::kThreadPreempted, 1));
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 2);
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 1);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 2);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1);
 }
 
 TEST(MultiQueue, StrictClassIsServedFirst)
@@ -152,11 +152,11 @@ TEST(MultiQueue, StrictClassIsServedFirst)
     policy.SetThreadSlo(2, 0);  // strict
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->tid, 2) << "strict SLO class first";
     EXPECT_EQ(d->slo_class, 0u);
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 1);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 1);
 }
 
 TEST(MultiQueue, UntaggedThreadsAreLenient)
@@ -165,7 +165,7 @@ TEST(MultiQueue, UntaggedThreadsAreLenient)
     policy.SetThreadSlo(2, 0);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));  // untagged
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
-    EXPECT_EQ(policy.PickNext(0, 0)->tid, 2);
+    EXPECT_EQ(policy.PickNext(0, sim::TimeNs{0})->tid, 2);
 }
 
 TEST(MultiQueue, PreemptionConsidersClassOfWaiters)
@@ -196,12 +196,12 @@ TEST(VmPolicy, RespectsPinning)
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
 
-    auto d0 = policy.PickNext(0, 0);
+    auto d0 = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d0.has_value());
     EXPECT_EQ(d0->tid, 1);
-    EXPECT_FALSE(policy.PickNext(0, 0).has_value())
+    EXPECT_FALSE(policy.PickNext(0, sim::TimeNs{0}).has_value())
         << "vCPU 2 is pinned elsewhere";
-    EXPECT_EQ(policy.PickNext(1, 0)->tid, 2);
+    EXPECT_EQ(policy.PickNext(1, sim::TimeNs{0})->tid, 2);
 }
 
 TEST(VmPolicy, QuantumPreemptionOnlyWithLocalWaiter)
@@ -210,7 +210,7 @@ TEST(VmPolicy, QuantumPreemptionOnlyWithLocalWaiter)
     policy.PinVcpu(1, 0);
     policy.PinVcpu(2, 0);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    ASSERT_TRUE(policy.PickNext(0, 0).has_value());
+    ASSERT_TRUE(policy.PickNext(0, sim::TimeNs{0}).has_value());
     EXPECT_FALSE(policy.ShouldPreempt(0, 1, 6'000'000))
         << "no waiter on this core";
     policy.OnMessage(Msg(MsgType::kThreadCreated, 2));
@@ -224,7 +224,7 @@ TEST(VmPolicy, DecisionsCarryTheQuantum)
     VmPolicy policy(5'000'000);
     policy.PinVcpu(1, 0);
     policy.OnMessage(Msg(MsgType::kThreadCreated, 1));
-    auto d = policy.PickNext(0, 0);
+    auto d = policy.PickNext(0, sim::TimeNs{0});
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->slice_ns, 5'000'000u);
 }
@@ -260,7 +260,7 @@ TEST_P(PolicyInvariantTest, NeverSchedulesNonRunnableThreads)
             switch (action) {
               case 1:  // pick for a core
                 if (!pickable.empty()) {
-                    auto d = policy.PickNext(0, 0);
+                    auto d = policy.PickNext(0, sim::TimeNs{0});
                     if (d) {
                         EXPECT_TRUE(pickable.count(d->tid))
                             << "picked non-runnable tid " << d->tid;

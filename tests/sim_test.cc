@@ -24,7 +24,7 @@ using namespace time_literals;
 TEST(Simulator, StartsAtTimeZero)
 {
     Simulator sim;
-    EXPECT_EQ(sim.Now(), 0u);
+    EXPECT_EQ(sim.Now().ns(), 0u);
 }
 
 TEST(Simulator, RunsEventsInTimeOrder)
@@ -36,7 +36,7 @@ TEST(Simulator, RunsEventsInTimeOrder)
     sim.Schedule(20, [&] { order.push_back(2); });
     sim.Run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(sim.Now(), 30u);
+    EXPECT_EQ(sim.Now().ns(), 30u);
 }
 
 TEST(Simulator, EqualTimestampsRunInScheduleOrder)
@@ -62,7 +62,7 @@ TEST(Simulator, EventsCanScheduleMoreEvents)
     });
     sim.Run();
     EXPECT_EQ(fired, 2);
-    EXPECT_EQ(sim.Now(), 2u);
+    EXPECT_EQ(sim.Now().ns(), 2u);
 }
 
 TEST(Simulator, RunForAdvancesClockExactly)
@@ -71,9 +71,9 @@ TEST(Simulator, RunForAdvancesClockExactly)
     bool ran = false;
     sim.Schedule(100, [&] { ran = true; });
     sim.Schedule(5000, [&] { FAIL() << "should not run"; });
-    EXPECT_EQ(sim.RunFor(1000), 1000u);
+    EXPECT_EQ(sim.RunFor(1000).ns(), 1000u);
     EXPECT_TRUE(ran);
-    EXPECT_EQ(sim.Now(), 1000u);
+    EXPECT_EQ(sim.Now().ns(), 1000u);
 }
 
 TEST(Simulator, RunUntilIncludesBoundaryEvents)
@@ -81,7 +81,7 @@ TEST(Simulator, RunUntilIncludesBoundaryEvents)
     Simulator sim;
     bool boundary = false;
     sim.Schedule(100, [&] { boundary = true; });
-    sim.RunUntil(100);
+    sim.RunUntil(TimeNs{100});
     EXPECT_TRUE(boundary);
 }
 
@@ -116,9 +116,9 @@ TEST(Coroutines, DelayAdvancesTime)
     sim.Spawn(DelayProcess(sim, stamps));
     sim.Run();
     ASSERT_EQ(stamps.size(), 3u);
-    EXPECT_EQ(stamps[0], 0u);
-    EXPECT_EQ(stamps[1], 10'000u);
-    EXPECT_EQ(stamps[2], 15'000u);
+    EXPECT_EQ(stamps[0].ns(), 0u);
+    EXPECT_EQ(stamps[1].ns(), 10'000u);
+    EXPECT_EQ(stamps[2].ns(), 15'000u);
 }
 
 Task<int>
@@ -141,7 +141,7 @@ TEST(Coroutines, NestedTasksComposeAndReturnValues)
     sim.Spawn(NestedProcess(sim, out));
     sim.Run();
     EXPECT_EQ(out, 42);
-    EXPECT_EQ(sim.Now(), 100u);
+    EXPECT_EQ(sim.Now().ns(), 100u);
 }
 
 Task<>
@@ -268,7 +268,7 @@ TEST(Sync, ChannelReceiveBeforePushSuspends)
     int got = 0;
     auto consumer = [](Simulator& s, Channel<int>& c, int& out) -> Task<> {
         out = co_await c.Receive();
-        EXPECT_EQ(s.Now(), 500u);
+        EXPECT_EQ(s.Now().ns(), 500u);
     };
     sim.Spawn(consumer(sim, chan, got));
     sim.Schedule(500, [&] { chan.Push(7); });
@@ -310,7 +310,7 @@ TEST(Sync, ResourceLimitsConcurrency)
     EXPECT_EQ(peak, 2);
     EXPECT_EQ(active, 0);
     // 6 users, 2 at a time, 100 ns each -> 3 rounds.
-    EXPECT_EQ(sim.Now(), 300u);
+    EXPECT_EQ(sim.Now().ns(), 300u);
 }
 
 TEST(Sync, AwaitAllJoinsConcurrentTasks)
@@ -330,7 +330,7 @@ TEST(Sync, AwaitAllJoinsConcurrentTasks)
         co_await AwaitAll(s, std::move(tasks));
         EXPECT_EQ(dn, 3);
         // Concurrent, not sequential: ends at max, not sum.
-        EXPECT_EQ(s.Now(), 300u);
+        EXPECT_EQ(s.Now().ns(), 300u);
     };
     sim.Spawn(parent(sim, done, work));
     sim.Run();

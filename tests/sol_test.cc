@@ -80,19 +80,20 @@ TEST(SolPolicy, ScanRespectsDueTimes)
 {
     SolConfig config;
     SolPolicy policy(config, 4);
-    EXPECT_TRUE(policy.Due(0, 0));
-    EXPECT_TRUE(policy.ScanBatch(0, 5, 0));
-    EXPECT_FALSE(policy.Due(0, 1'000'000)) << "rescheduled into future";
-    EXPECT_FALSE(policy.ScanBatch(0, 5, 1'000'000));
+    EXPECT_TRUE(policy.Due(0, sim::TimeNs{0}));
+    EXPECT_TRUE(policy.ScanBatch(0, 5, sim::TimeNs{0}));
+    EXPECT_FALSE(policy.Due(0, sim::TimeNs{1'000'000}))
+        << "rescheduled into future";
+    EXPECT_FALSE(policy.ScanBatch(0, 5, sim::TimeNs{1'000'000}));
     // Due again after at most the slowest period.
-    EXPECT_TRUE(policy.Due(0, config.scan_periods.back()));
+    EXPECT_TRUE(policy.Due(0, sim::TimeNs{config.scan_periods.back()}));
 }
 
 TEST(SolPolicy, HotBatchesConvergeToFastScans)
 {
     SolConfig config;
     SolPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     // Always accessed: posterior mean -> 1, so Thompson samples should
     // pick the fastest period almost always once converged.
     for (int scan = 0; scan < 40; ++scan) {
@@ -107,7 +108,7 @@ TEST(SolPolicy, ColdBatchesConvergeToSlowScans)
 {
     SolConfig config;
     SolPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     for (int scan = 0; scan < 40; ++scan) {
         policy.ScanBatch(0, 0, now);
         now += config.scan_periods.back();
@@ -121,7 +122,7 @@ TEST(SolPolicy, EpochPlanMovesColdBatchesOut)
 {
     SolConfig config;
     SolPolicy policy(config, 10);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     for (int scan = 0; scan < 20; ++scan) {
         for (std::size_t b = 0; b < 10; ++b) {
             // Batches 0-1 hot, the rest cold.
@@ -145,7 +146,7 @@ TEST(SolPolicy, ReheatedBatchReturnsToFastTier)
 {
     SolConfig config;
     SolPolicy policy(config, 1);
-    sim::TimeNs now = 0;
+    sim::TimeNs now{};
     for (int scan = 0; scan < 20; ++scan) {
         policy.ScanBatch(0, 0, now);
         now += config.scan_periods.back();
@@ -243,9 +244,9 @@ TEST(SolAgent, ConvergesToHotSetFootprint)
         }
     }(f, pages));
     f.sim.Spawn([](AgentFixture& fx) -> Task<> {
-        co_await fx.agent->RunUntil(40'000'000'000ull);  // past 38.4 s
+        co_await fx.agent->RunUntil(sim::TimeNs{40'000'000'000ull});  // past 38.4 s
     }(f));
-    f.sim.RunUntil(40'000'000'000ull);
+    f.sim.RunUntil(sim::TimeNs{40'000'000'000ull});
 
     EXPECT_GE(f.agent->Stats().epochs, 1u);
     const double fast_fraction =
@@ -260,9 +261,9 @@ TEST(SolAgent, LaterIterationsScanLessThanTheFirst)
     AgentFixture f(64 * 1024, 2, false);
     // No touches at all: everything goes cold and scan periods stretch.
     f.sim.Spawn([](AgentFixture& fx) -> Task<> {
-        co_await fx.agent->RunUntil(20'000'000'000ull);
+        co_await fx.agent->RunUntil(sim::TimeNs{20'000'000'000ull});
     }(f));
-    f.sim.RunUntil(20'000'000'000ull);
+    f.sim.RunUntil(sim::TimeNs{20'000'000'000ull});
     const auto& stats = f.agent->Stats();
     ASSERT_GT(stats.iterations, 5u);
     // If every iteration re-scanned everything we would see

@@ -27,14 +27,14 @@ TEST(ServerPool, ProcessesJobsWithCost)
     pool.Start();
 
     int done = 0;
-    sim::TimeNs done_at = 0;
+    sim::TimeNs done_at{};
     pool.Submit({1000, [&] {
                      ++done;
                      done_at = sim.Now();
                  }});
     sim.RunFor(10_us);
     EXPECT_EQ(done, 1);
-    EXPECT_GE(done_at, 1000u);
+    EXPECT_GE(done_at.ns(), 1000u);
 }
 
 TEST(ServerPool, QueuesWhenAllServersBusy)

@@ -1,0 +1,796 @@
+/**
+ * @file
+ * wave_analyze: repo-specific static checks the C++ type system cannot
+ * express, in the spirit of Linux's `sparse` address-space checker.
+ *
+ * The simulation stitches two clock domains (host x86, NIC ARM)
+ * together through the PCIe model only. The strong time types
+ * (sim/time.h, machine/cycles.h) make unit mixing a compile error;
+ * this tool enforces the *structural* rules on top: which files may
+ * know about which domain, where checker instrumentation must sit,
+ * and which determinism-hostile constructs are banned from model code.
+ *
+ * Every model source file carries a comment annotation
+ *
+ *     // wave-domain: host|nic|pcie|neutral|harness
+ *
+ * and the analyzer walks a token/declaration-level view of the tree
+ * (plain text with comments and strings stripped — no libclang):
+ *
+ *   W001 missing-domain        src file lacks a wave-domain annotation
+ *   W002 cross-domain-include  include edge violates the domain matrix
+ *   W003 cross-domain-symbol   names a symbol owned by the other domain
+ *   W004 actor-domain          RegisterActor call without a domain
+ *   W005 hook-coverage         checker call outside WAVE_CHECK_HOOK, or
+ *                              a queue/txn endpoint file with no hooks
+ *   W006 stale-reason          tolerate_stale=true without justification
+ *   W007 wall-clock-rng        wall clock / unseeded RNG in model code
+ *   W008 time-narrowing        double<->integer time cast outside the
+ *                              sanctioned bridges (sim/time.h, cycles.h)
+ *
+ * Domain include matrix (row may include column):
+ *
+ *              host   nic   pcie  neutral
+ *   host        yes    no    yes    yes      host code never sees NIC
+ *   nic          no   yes    yes    yes      state except through the
+ *   pcie         no    no    yes    yes      pcie/channel/wave seam.
+ *   neutral      no    no     no    yes
+ *   harness     yes   yes    yes    yes      tests/bench/tools/fuzz
+ *
+ * Suppression: append `// wave-analyze: allow(W00X reason)` on the
+ * offending line (or the line directly above), or add `path:W00X` to
+ * the baseline file passed with --baseline. Inline suppressions are
+ * for deliberate, justified exceptions; the baseline exists to land
+ * the checker on a tree with pre-existing debt and then burn it down.
+ *
+ * Usage:
+ *   wave_analyze [--root DIR] [--baseline FILE] [--as-src] [FILE...]
+ *   wave_analyze --list-rules
+ *
+ * With no FILE arguments, analyzes every .h/.cc under DIR/src. With
+ * explicit FILEs (fixture snippets in tests), --as-src applies the
+ * model-code rules regardless of the file's location. Exit status: 0
+ * clean, 1 findings, 2 usage or I/O error.
+ */
+// wave-domain: harness
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class Domain { kUnknown, kHost, kNic, kPcie, kNeutral, kHarness };
+
+const char*
+DomainName(Domain d)
+{
+    switch (d) {
+        case Domain::kHost: return "host";
+        case Domain::kNic: return "nic";
+        case Domain::kPcie: return "pcie";
+        case Domain::kNeutral: return "neutral";
+        case Domain::kHarness: return "harness";
+        default: return "unknown";
+    }
+}
+
+std::optional<Domain>
+ParseDomain(const std::string& name)
+{
+    if (name == "host") return Domain::kHost;
+    if (name == "nic") return Domain::kNic;
+    if (name == "pcie") return Domain::kPcie;
+    if (name == "neutral") return Domain::kNeutral;
+    if (name == "harness") return Domain::kHarness;
+    return std::nullopt;
+}
+
+/** May a file in domain @p from include a file in domain @p to? */
+bool
+MayInclude(Domain from, Domain to)
+{
+    if (from == Domain::kHarness) return true;
+    if (to == Domain::kNeutral) return true;
+    if (to == Domain::kPcie) return from != Domain::kNeutral;
+    return from == to;  // concrete domains only reach themselves
+}
+
+struct Finding {
+    std::string path;  // as reported (relative to root when possible)
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One source line split into code and comment text. */
+struct SplitLine {
+    std::string code;     // strings blanked, comments removed
+    std::string comment;  // contents of // and /* */ comments
+};
+
+/**
+ * Comment/string-aware line splitter. Block-comment state carries
+ * across lines; string contents are blanked from the code channel so
+ * a "//" inside a literal is not mistaken for a comment.
+ */
+class LineSplitter {
+  public:
+    SplitLine
+    Split(const std::string& line)
+    {
+        SplitLine out;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+            if (in_block_comment_) {
+                if (c == '*' && next == '/') {
+                    in_block_comment_ = false;
+                    ++i;
+                } else {
+                    out.comment += c;
+                }
+                continue;
+            }
+            if (in_string_) {
+                if (c == '\\') {
+                    out.code += "  ";
+                    ++i;
+                } else if (c == quote_) {
+                    in_string_ = false;
+                    out.code += c;
+                } else {
+                    out.code += ' ';
+                }
+                continue;
+            }
+            if (c == '/' && next == '/') {
+                out.comment += line.substr(i + 2);
+                break;
+            }
+            if (c == '/' && next == '*') {
+                in_block_comment_ = true;
+                ++i;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                in_string_ = true;
+                quote_ = c;
+                out.code += c;
+                continue;
+            }
+            out.code += c;
+        }
+        // Strings do not span lines in this codebase (no raw strings).
+        in_string_ = false;
+        return out;
+    }
+
+  private:
+    bool in_block_comment_ = false;
+    bool in_string_ = false;
+    char quote_ = '"';
+};
+
+struct SourceFile {
+    std::string path;          // reported path
+    std::vector<std::string> raw;
+    std::vector<SplitLine> lines;
+    Domain domain = Domain::kUnknown;
+    int domain_line = 0;
+};
+
+std::optional<SourceFile>
+LoadFile(const fs::path& fullpath, const std::string& report_path)
+{
+    std::ifstream in(fullpath);
+    if (!in) return std::nullopt;
+    SourceFile f;
+    f.path = report_path;
+    std::string line;
+    LineSplitter splitter;
+    static const std::regex kDomainRe(
+        R"(wave-domain:\s*([a-z]+))");
+    while (std::getline(in, line)) {
+        f.raw.push_back(line);
+        f.lines.push_back(splitter.Split(line));
+        if (f.domain == Domain::kUnknown) {
+            std::smatch m;
+            const std::string& comment = f.lines.back().comment;
+            if (std::regex_search(comment, m, kDomainRe)) {
+                if (auto d = ParseDomain(m[1].str())) {
+                    f.domain = *d;
+                    f.domain_line = static_cast<int>(f.raw.size());
+                }
+            }
+        }
+    }
+    return f;
+}
+
+/** Net '(' minus ')' on the code channel of a string. */
+int
+ParenBalance(const std::string& s)
+{
+    int n = 0;
+    for (char c : s) {
+        if (c == '(') ++n;
+        if (c == ')') --n;
+    }
+    return n;
+}
+
+/** Argument text of a call: from after '(' to its match (same line). */
+std::string
+CallArgument(const std::string& code, std::size_t open_paren)
+{
+    int depth = 0;
+    for (std::size_t i = open_paren; i < code.size(); ++i) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')') {
+            --depth;
+            if (depth == 0) {
+                return code.substr(open_paren + 1, i - open_paren - 1);
+            }
+        }
+    }
+    return code.substr(open_paren + 1);
+}
+
+// --- rule catalog ------------------------------------------------------
+
+struct Rule {
+    const char* id;
+    const char* name;
+    const char* summary;
+};
+
+constexpr Rule kRules[] = {
+    {"W001", "missing-domain",
+     "every model source file carries a wave-domain annotation"},
+    {"W002", "cross-domain-include",
+     "includes respect the host/nic/pcie/neutral matrix"},
+    {"W003", "cross-domain-symbol",
+     "no naming symbols owned by the opposite domain"},
+    {"W004", "actor-domain",
+     "RegisterActor call sites declare the actor's domain"},
+    {"W005", "hook-coverage",
+     "checker calls gated by WAVE_CHECK_HOOK; endpoints instrumented"},
+    {"W006", "stale-reason",
+     "tolerate_stale != false carries a same-line justification"},
+    {"W007", "wall-clock-rng",
+     "no wall clock, std::rand, or unseeded RNG in model code"},
+    {"W008", "time-narrowing",
+     "double<->integer time conversion only through sim/time.h"},
+};
+
+/**
+ * Namespaces owned wholly by one concrete domain. Mixed-domain
+ * namespaces (ghost: host kernel + neutral policy ABI) are enforced at
+ * include granularity by W002 instead.
+ */
+const std::map<std::string, Domain> kOwnedNamespaces = {
+    {"sol", Domain::kNic},
+    {"workload", Domain::kHost},
+    {"rpc", Domain::kHost},
+};
+
+/**
+ * Queue/txn endpoint files that must contain checker instrumentation:
+ * the cross-domain data path is exactly where the dynamic checkers
+ * watch for coherence and ordering bugs, so a hook-free endpoint file
+ * means a blind spot. Matched as path suffixes.
+ */
+const char* const kEndpointFiles[] = {
+    "channel/mmio_queue.cc", "channel/dma_queue.cc",
+    "pcie/mmio.cc",          "pcie/dma.cc",
+    "pcie/msix.cc",          "wave/txn.cc",
+    "wave/shm_queue.h",
+};
+
+/**
+ * wave::check entry points callable from model code. Mirrors the
+ * public API of coherence.h, protocol.h, and hb.h plus attach/bind
+ * helpers; extend when adding checker API. (Folded in from the retired
+ * tools/lint_hooks.sh.)
+ */
+const char* const kCheckerCallRe =
+    R"((->|\.)\s*()"
+    "OnWrite|OnRead|OnCacheFill|OnCacheDrop|OnWcBuffered|"
+    "OnWcDrained|OnDmaWrite|OnOrderingPoint|OnShmAccess|"
+    "OnTxnCreated|OnTxnPublished|OnTxnDelivered|OnTxnOutcome|"
+    "OnTxnOutcomeObserved|OnStreamSend|OnStreamRecv|"
+    "OnTaskState|OnCommitDecision|OnWatchdogArmed|"
+    "OnWatchdogExpired|OnWatchdogFed|"
+    "OnAccess|OnRelease|OnAcquire|RegisterActor|AllowUnordered|"
+    "AttachChecker|AttachCheckers|AttachProtocol|AttachHb|"
+    "BindCheckers"
+    R"()\s*\()";
+
+const char* const kWallClockRe =
+    R"(\bstd::chrono\b|\bgettimeofday\b|\bclock_gettime\b)"
+    R"(|\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\))"
+    R"(|\brandom_device\b|\bstd::mt19937|\bsteady_clock\b)"
+    R"(|\bsystem_clock\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\))";
+
+/** Time-flavoured tokens: identifiers/calls that denote nanoseconds. */
+const char* const kTimeTokenRe =
+    R"((^|[^A-Za-z0-9_])ns([^A-Za-z0-9_]|$)|_ns\b|[A-Za-z0-9_]*Ns\b)"
+    R"(|\.ns\(\)|\bNow\(\))";
+
+/** Float-flavoured tokens inside a to-integer cast argument. */
+const char* const kFloatTokenRe =
+    R"(ToDouble\s*\(\)|\bghz\s*\(\)|[0-9]\.[0-9]|1e[0-9]|\bdouble\b)";
+
+// --- analyzer ----------------------------------------------------------
+
+class Analyzer {
+  public:
+    Analyzer(fs::path root, bool werror_missing_domain)
+        : root_(std::move(root)),
+          werror_missing_domain_(werror_missing_domain)
+    {
+    }
+
+    std::vector<Finding> findings;
+
+    /** Analyzes one file; @p as_model applies the model-code rules. */
+    void
+    Analyze(const SourceFile& f, bool as_model)
+    {
+        if (!as_model) return;  // harness trees are out of scope
+
+        const bool in_check = PathHas(f.path, "check/");
+        const bool time_bridge = PathEndsWith(f.path, "sim/time.h") ||
+                                 PathEndsWith(f.path, "machine/cycles.h");
+
+        if (f.domain == Domain::kUnknown && werror_missing_domain_) {
+            Add(f.path, 1, "W001",
+                "no `// wave-domain: host|nic|pcie|neutral|harness` "
+                "annotation");
+        }
+
+        CheckIncludes(f);
+        CheckSymbols(f);
+        CheckActors(f, in_check);
+        CheckHooks(f, in_check);
+        CheckStaleReasons(f);
+        CheckWallClock(f);
+        if (!time_bridge) CheckTimeNarrowing(f);
+        CheckEndpointCoverage(f);
+    }
+
+    /** Domain of an include target, loading and caching the file. */
+    Domain
+    DomainOfInclude(const std::string& include_path)
+    {
+        auto it = include_domains_.find(include_path);
+        if (it != include_domains_.end()) return it->second;
+        Domain d = Domain::kUnknown;
+        const fs::path full = root_ / "src" / include_path;
+        if (auto f = LoadFile(full, include_path)) d = f->domain;
+        include_domains_[include_path] = d;
+        return d;
+    }
+
+  private:
+    static bool
+    PathHas(const std::string& path, const std::string& needle)
+    {
+        return path.find(needle) != std::string::npos;
+    }
+
+    static bool
+    PathEndsWith(const std::string& path, const std::string& tail)
+    {
+        return path.size() >= tail.size() &&
+               path.compare(path.size() - tail.size(), tail.size(),
+                            tail) == 0;
+    }
+
+    void
+    Add(const std::string& path, int line, const char* rule,
+        std::string message)
+    {
+        findings.push_back({path, line, rule, std::move(message)});
+    }
+
+    void
+    CheckIncludes(const SourceFile& f)
+    {
+        static const std::regex kIncludeRe(
+            R"re(^\s*#\s*include\s+"([^"]+)")re");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            std::smatch m;
+            if (!std::regex_search(f.raw[i], m, kIncludeRe)) continue;
+            const std::string target = m[1].str();
+            if (target.find('/') == std::string::npos) continue;
+            const Domain to = DomainOfInclude(target);
+            if (to == Domain::kUnknown) continue;
+            if (f.domain == Domain::kUnknown) continue;
+            if (!MayInclude(f.domain, to)) {
+                Add(f.path, static_cast<int>(i + 1), "W002",
+                    std::string(DomainName(f.domain)) +
+                        "-domain file includes " + DomainName(to) +
+                        "-domain header \"" + target +
+                        "\" (cross-domain access must go through the "
+                        "pcie seam)");
+            }
+        }
+    }
+
+    void
+    CheckSymbols(const SourceFile& f)
+    {
+        if (f.domain == Domain::kPcie || f.domain == Domain::kHarness ||
+            f.domain == Domain::kUnknown) {
+            return;  // the seam may name both sides
+        }
+        static const std::regex kQualifiedRe(
+            R"((?:wave::)?\b(sol|workload|rpc)::)");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                              kQualifiedRe);
+            for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                const std::string ns = (*it)[1].str();
+                // A module may of course name itself.
+                if (PathHas(f.path, ns + "/")) continue;
+                const Domain owner = kOwnedNamespaces.at(ns);
+                if (owner == f.domain) continue;
+                Add(f.path, static_cast<int>(i + 1), "W003",
+                    std::string(DomainName(f.domain)) +
+                        "-domain file names " + DomainName(owner) +
+                        "-owned symbol `" + ns +
+                        "::...` (route through the pcie seam instead)");
+            }
+        }
+    }
+
+    void
+    CheckActors(const SourceFile& f, bool in_check)
+    {
+        if (in_check) return;  // the checker framework itself
+        static const std::regex kRegisterRe(
+            R"((->|\.)\s*RegisterActor\s*\()");
+        static const std::regex kDomainNoteRe(
+            R"(wave-domain:\s*(host|nic))");
+        static const std::regex kLabelRe(
+            R"(RegisterActor\s*\(\s*"(host|nic)[-_])");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            if (!std::regex_search(f.lines[i].code, kRegisterRe)) {
+                continue;
+            }
+            const bool labeled =
+                std::regex_search(f.raw[i], kLabelRe);
+            const bool noted =
+                std::regex_search(f.lines[i].comment, kDomainNoteRe) ||
+                (i > 0 && std::regex_search(f.lines[i - 1].comment,
+                                            kDomainNoteRe));
+            if (!labeled && !noted) {
+                Add(f.path, static_cast<int>(i + 1), "W004",
+                    "RegisterActor without a domain: start the label "
+                    "with \"host-\"/\"nic-\" or add a `// wave-domain: "
+                    "host|nic` comment on this or the previous line");
+            }
+        }
+    }
+
+    void
+    CheckHooks(const SourceFile& f, bool in_check)
+    {
+        if (in_check) return;
+        static const std::regex kCallRe(kCheckerCallRe);
+        int hook_balance = 0;       // open parens of WAVE_CHECK_HOOK(...)
+        std::vector<bool> gated;    // #if nesting: WAVE_CHECK_ENABLED?
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& raw = f.raw[i];
+            const std::string& code = f.lines[i].code;
+            static const std::regex kIfRe(R"(^\s*#\s*if)");
+            static const std::regex kElRe(R"(^\s*#\s*el)");
+            static const std::regex kEndifRe(R"(^\s*#\s*endif)");
+            if (std::regex_search(raw, kIfRe)) {
+                gated.push_back(raw.find("WAVE_CHECK_ENABLED") !=
+                                std::string::npos);
+            } else if (std::regex_search(raw, kElRe)) {
+                if (!gated.empty()) {
+                    gated.back() = raw.find("WAVE_CHECK_ENABLED") !=
+                                   std::string::npos;
+                }
+            } else if (std::regex_search(raw, kEndifRe)) {
+                if (!gated.empty()) gated.pop_back();
+            }
+            const bool in_gate =
+                std::any_of(gated.begin(), gated.end(),
+                            [](bool g) { return g; });
+
+            bool in_hook = hook_balance > 0;
+            const auto hook_pos = code.find("WAVE_CHECK_HOOK");
+            if (hook_pos != std::string::npos) {
+                in_hook = true;
+                hook_balance += ParenBalance(code.substr(hook_pos));
+            } else if (hook_balance > 0) {
+                hook_balance += ParenBalance(code);
+            }
+            if (hook_balance < 0) hook_balance = 0;
+
+            if (!in_hook && !in_gate &&
+                std::regex_search(code, kCallRe)) {
+                Add(f.path, static_cast<int>(i + 1), "W005",
+                    "checker call outside WAVE_CHECK_HOOK(...) or an "
+                    "#ifdef WAVE_CHECK_ENABLED block");
+            }
+        }
+    }
+
+    void
+    CheckStaleReasons(const SourceFile& f)
+    {
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& raw = f.raw[i];
+            static const std::regex kStaleRe(
+                R"(/\*\s*tolerate_stale\s*=\s*\*/\s*([A-Za-z_][A-Za-z0-9_:\.]*|true|false))");
+            std::smatch m;
+            if (!std::regex_search(raw, m, kStaleRe)) continue;
+            if (m[1].str() == "false") continue;
+            // The /*tolerate_stale=*/ argument annotation itself lands
+            // in the comment channel; it is not a justification.
+            static const std::regex kSelfRe(
+                R"(\s*tolerate_stale\s*=\s*)");
+            const std::string note = std::regex_replace(
+                f.lines[i].comment, kSelfRe, "");
+            if (note.empty()) {
+                Add(f.path, static_cast<int>(i + 1), "W006",
+                    "tolerate_stale without a same-line justification "
+                    "comment");
+            }
+        }
+    }
+
+    void
+    CheckWallClock(const SourceFile& f)
+    {
+        static const std::regex kBanRe(kWallClockRe);
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            std::smatch m;
+            if (std::regex_search(f.lines[i].code, m, kBanRe)) {
+                Add(f.path, static_cast<int>(i + 1), "W007",
+                    "determinism-hostile construct `" + m[0].str() +
+                    "` in model code (use sim::Rng / sim::Simulator "
+                    "time instead)");
+            }
+        }
+    }
+
+    void
+    CheckTimeNarrowing(const SourceFile& f)
+    {
+        static const std::regex kToDoubleRe(
+            R"(static_cast<\s*double\s*>\s*\()");
+        static const std::regex kToIntRe(
+            R"(static_cast<\s*(?:std::)?u?int(?:64|32)_t\s*>\s*\()");
+        static const std::regex kTimeTok(kTimeTokenRe);
+        static const std::regex kFloatTok(kFloatTokenRe);
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            std::smatch m;
+            if (std::regex_search(code, m, kToDoubleRe)) {
+                const auto open =
+                    static_cast<std::size_t>(m.position(0)) +
+                    m.length(0) - 1;
+                const std::string arg = CallArgument(code, open);
+                if (std::regex_search(arg, kTimeTok)) {
+                    Add(f.path, static_cast<int>(i + 1), "W008",
+                        "ad-hoc time->double cast; use "
+                        "DurationNs/TimeNs ToDouble(), ToUs(), ToMs() "
+                        "(sim/time.h is the only sanctioned bridge)");
+                }
+            }
+            if (std::regex_search(code, m, kToIntRe)) {
+                const auto open =
+                    static_cast<std::size_t>(m.position(0)) +
+                    m.length(0) - 1;
+                const std::string arg = CallArgument(code, open);
+                if (std::regex_search(arg, kFloatTok) &&
+                    std::regex_search(code, kTimeTok)) {
+                    Add(f.path, static_cast<int>(i + 1), "W008",
+                        "ad-hoc double->integer time cast; use "
+                        "DurationNs::FromDouble()/TimeNs::FromDouble() "
+                        "(sim/time.h is the only sanctioned bridge)");
+                }
+            }
+        }
+    }
+
+    void
+    CheckEndpointCoverage(const SourceFile& f)
+    {
+        for (const char* endpoint : kEndpointFiles) {
+            if (!PathEndsWith(f.path, endpoint)) continue;
+            for (const auto& line : f.lines) {
+                if (line.code.find("WAVE_CHECK_HOOK") !=
+                    std::string::npos) {
+                    return;
+                }
+            }
+            Add(f.path, 1, "W005",
+                "queue/txn endpoint file carries no WAVE_CHECK_HOOK "
+                "instrumentation (checker blind spot)");
+        }
+    }
+
+    fs::path root_;
+    bool werror_missing_domain_;
+    std::map<std::string, Domain> include_domains_;
+};
+
+// --- suppression -------------------------------------------------------
+
+/** Inline `wave-analyze: allow(W00X ...)` on the line or the previous. */
+bool
+InlineSuppressed(const SourceFile& f, const Finding& finding)
+{
+    static const std::regex kAllowRe(
+        R"(wave-analyze:\s*allow\(\s*(W[0-9]{3}))");
+    const auto check = [&](int line_no) {
+        if (line_no < 1 ||
+            line_no > static_cast<int>(f.lines.size())) {
+            return false;
+        }
+        const std::string& comment =
+            f.lines[static_cast<std::size_t>(line_no - 1)].comment;
+        std::smatch m;
+        return std::regex_search(comment, m, kAllowRe) &&
+               m[1].str() == finding.rule;
+    };
+    return check(finding.line) || check(finding.line - 1);
+}
+
+/** Baseline file: `path:W00X` per line; '#' comments and blanks ok. */
+std::set<std::string>
+LoadBaseline(const fs::path& path)
+{
+    std::set<std::string> entries;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        while (!line.empty() &&
+               (line.back() == ' ' || line.back() == '\t' ||
+                line.back() == '\r')) {
+            line.pop_back();
+        }
+        if (!line.empty()) entries.insert(line);
+    }
+    return entries;
+}
+
+void
+ListRules()
+{
+    std::printf("wave_analyze rule catalog:\n");
+    for (const Rule& r : kRules) {
+        std::printf("  %s %-22s %s\n", r.id, r.name, r.summary);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    fs::path root = ".";
+    fs::path baseline_path;
+    bool as_src = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            ListRules();
+            return 0;
+        }
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--as-src") {
+            as_src = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "wave_analyze: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    std::error_code ec;
+    if (!fs::exists(root / "src", ec) && files.empty()) {
+        std::fprintf(stderr, "wave_analyze: no src/ under %s\n",
+                     root.string().c_str());
+        return 2;
+    }
+
+    struct Job {
+        fs::path full;
+        std::string report;
+        bool model;
+    };
+    std::vector<Job> jobs;
+    if (files.empty()) {
+        for (auto it = fs::recursive_directory_iterator(root / "src");
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file()) continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".h" && ext != ".cc") continue;
+            const std::string rel =
+                fs::relative(it->path(), root).generic_string();
+            jobs.push_back({it->path(), rel, /*model=*/true});
+        }
+    } else {
+        for (const std::string& f : files) {
+            const fs::path p(f);
+            const bool model =
+                as_src ||
+                p.generic_string().find("src/") != std::string::npos;
+            jobs.push_back({p, p.generic_string(), model});
+        }
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const Job& a, const Job& b) {
+                  return a.report < b.report;
+              });
+
+    Analyzer analyzer(root, /*werror_missing_domain=*/true);
+    std::map<std::string, SourceFile> loaded;
+    for (const Job& job : jobs) {
+        auto f = LoadFile(job.full, job.report);
+        if (!f) {
+            std::fprintf(stderr, "wave_analyze: cannot read %s\n",
+                         job.full.string().c_str());
+            return 2;
+        }
+        analyzer.Analyze(*f, job.model);
+        loaded.emplace(job.report, std::move(*f));
+    }
+
+    const std::set<std::string> baseline =
+        baseline_path.empty() ? std::set<std::string>{}
+                              : LoadBaseline(baseline_path);
+
+    int reported = 0;
+    int suppressed = 0;
+    for (const Finding& finding : analyzer.findings) {
+        const SourceFile& f = loaded.at(finding.path);
+        if (InlineSuppressed(f, finding) ||
+            baseline.count(finding.path + ":" + finding.rule) != 0) {
+            ++suppressed;
+            continue;
+        }
+        std::printf("%s:%d: %s: %s\n", finding.path.c_str(),
+                    finding.line, finding.rule.c_str(),
+                    finding.message.c_str());
+        ++reported;
+    }
+
+    if (reported == 0) {
+        std::printf("wave_analyze: OK (%zu files, %d suppressed)\n",
+                    jobs.size(), suppressed);
+        return 0;
+    }
+    std::printf("wave_analyze: %d finding%s (%d suppressed)\n",
+                reported, reported == 1 ? "" : "s", suppressed);
+    return 1;
+}
