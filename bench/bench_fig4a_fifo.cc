@@ -8,6 +8,9 @@
  * Paper shape: Wave-15 saturates 1.1% below On-Host with a few µs more
  * tail latency; Wave-16 saturates 4.6% above On-Host.
  */
+#include <chrono>
+
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "stats/table.h"
 #include "workload/sched_experiment.h"
@@ -32,11 +35,66 @@ Scenario(int mode)
     return cfg;
 }
 
+/**
+ * JSON mode: one mid-curve point per scenario plus the Wave-vs-On-Host
+ * saturation ratios the paper headlines, and the wall-clock cost of
+ * simulating the experiment (the number the CI perf gate watches).
+ * Quick mode shortens the measured window; the figure's shape survives,
+ * only the tails get noisier.
+ */
+int
+RunJsonMode(const bench::JsonCliArgs& args)
+{
+    bench::BenchJson json("fig4a_fifo");
+
+    const char* keys[] = {"onhost", "wave15", "wave16"};
+    const auto t0 = std::chrono::steady_clock::now();
+    double sim_secs = 0.0;
+    double sat[3];
+    for (int mode = 0; mode < 3; ++mode) {
+        SchedExperimentConfig cfg = Scenario(mode);
+        if (args.quick) {
+            cfg.warmup_ns = 5'000'000;
+            cfg.measure_ns = 20'000'000;
+        }
+        cfg.offered_rps = 800'000;
+        const auto r = workload::RunSchedExperiment(cfg);
+        sim_secs += (cfg.warmup_ns + cfg.measure_ns).ToDouble() / 1e9;
+        json.Add(std::string(keys[mode]) + "_achieved_rps_at_800k",
+                 r.achieved_rps, "1/s");
+        json.Add(std::string(keys[mode]) + "_get_p99_ns_at_800k",
+                 r.get_p99.ToDouble(), "ns");
+
+        SchedExperimentConfig sat_cfg = Scenario(mode);
+        if (args.quick) {
+            sat_cfg.warmup_ns = 5'000'000;
+            sat_cfg.measure_ns = 20'000'000;
+        }
+        sat[mode] = workload::FindSaturationThroughput(
+            sat_cfg, 1'000'000, 1'400'000, args.quick ? 100'000 : 25'000);
+        sim_secs +=
+            (sat_cfg.warmup_ns + sat_cfg.measure_ns).ToDouble() / 1e9 * 4;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    json.Add("wave15_vs_onhost_saturation", sat[1] / sat[0], "ratio");
+    json.Add("wave16_vs_onhost_saturation", sat[2] / sat[0], "ratio");
+    json.Add("wall_ns_per_sim_sec",
+             std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                 sim_secs,
+             "ns/sim-s");
+    return json.WriteTo(args.json_path) ? 0 : 1;
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto json_args = bench::JsonCliArgs::Parse(argc, argv);
+    if (!json_args.json_path.empty()) {
+        return RunJsonMode(json_args);
+    }
     bench::Banner("EXP-F4A",
                   "Figure 4a: FIFO, 10us GETs — tput vs p99 latency");
 

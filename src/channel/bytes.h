@@ -7,6 +7,7 @@
  * reinterpretation in one audited place.
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstring>
@@ -26,6 +27,7 @@ ToBytes(const T& value, std::size_t payload_size)
     WAVE_ASSERT(sizeof(T) <= payload_size,
                 "message type (%zu bytes) exceeds payload size %zu",
                 sizeof(T), payload_size);
+    // wave-analyze: allow(W101 serialization mints the caller-owned payload by contract; hot loops reuse buffers via the PollInto/PushBatch APIs instead)
     std::vector<std::byte> out(payload_size);
     std::memcpy(out.data(), &value, sizeof(T));
     return out;

@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-hot
 #include "channel/dma_queue.h"
 
 #include <cstring>
@@ -101,19 +102,21 @@ DmaQueue::Send(const std::vector<Bytes>& messages, bool sync)
     co_return sent;
 }
 
-sim::Task<std::optional<Bytes>>
-DmaQueue::Poll()
+sim::Task<bool>
+DmaQueue::PollInto(Bytes& out)
 {
     std::uint64_t flag = 0;
     consumer_ring_.ReadRaw(layout_.FlagOffset(tail_), &flag, sizeof(flag));
     co_await LocalAccess(sim_, consumer_local_ns_, sizeof(flag));
     if (flag != layout_.GenerationOf(tail_)) {
-        co_return std::nullopt;
+        co_return false;
     }
-    Bytes payload(layout_.Config().payload_size);
-    consumer_ring_.ReadRaw(layout_.PayloadOffset(tail_), payload.data(),
-                           payload.size());
-    co_await LocalAccess(sim_, consumer_local_ns_, payload.size());
+    // A reused @p out keeps its capacity, so steady-state polling never
+    // touches the allocator.
+    out.resize(layout_.Config().payload_size);
+    consumer_ring_.ReadRaw(layout_.PayloadOffset(tail_), out.data(),
+                           out.size());
+    co_await LocalAccess(sim_, consumer_local_ns_, out.size());
     WAVE_CHECK_HOOK({
         if (protocol_ != nullptr) {
             protocol_->OnStreamRecv(this, tail_, check::Domain::kDma,
@@ -122,17 +125,30 @@ DmaQueue::Poll()
     });
     ++tail_;
     co_await MaybeSyncCounter();
-    co_return payload;
+    co_return true;
+}
+
+sim::Task<std::optional<Bytes>>
+DmaQueue::Poll()
+{
+    // The returned message is caller-owned, so this form pays one
+    // buffer per message by contract; PollInto is the reusing form.
+    Bytes payload;
+    if (!co_await PollInto(payload)) {
+        co_return std::nullopt;
+    }
+    co_return std::move(payload);
 }
 
 sim::Task<std::vector<Bytes>>
 DmaQueue::PollBatch(std::size_t max)
 {
     std::vector<Bytes> out;
+    out.reserve(max);
     while (out.size() < max) {
-        auto message = co_await Poll();
-        if (!message) break;
-        out.push_back(std::move(*message));
+        Bytes payload;
+        if (!co_await PollInto(payload)) break;
+        out.push_back(std::move(payload));
     }
     co_return out;
 }

@@ -19,6 +19,7 @@
  * gains from async DMA, which bench_queue_primitives reproduces).
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstdint>
@@ -64,6 +65,14 @@ class DmaQueue {
 
     /** Consumer: next message from the local replica, if ready. */
     sim::Task<std::optional<Bytes>> Poll();
+
+    /**
+     * Allocation-free poll: resizes @p out to the payload size and
+     * fills it if a message is ready. A caller that reuses one buffer
+     * across polls pays no per-message heap allocation — the hot-loop
+     * form of Poll().
+     */
+    sim::Task<bool> PollInto(Bytes& out);
 
     /** Consumer: drains up to @p max ready messages. */
     sim::Task<std::vector<Bytes>> PollBatch(std::size_t max);

@@ -22,6 +22,7 @@
  * one PCIe roundtrip.
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstddef>

@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-hot
 #include "channel/mmio_queue.h"
 
 #include <cstring>
@@ -16,14 +17,6 @@ namespace {
  * tagged with the slot's absolute index, which never reaches 2^64-1.
  */
 constexpr std::uint64_t kCounterSyncTag = ~0ULL;
-
-Bytes
-ToFlagBytes(std::uint64_t v)
-{
-    Bytes b(sizeof(v));
-    std::memcpy(b.data(), &v, sizeof(v));
-    return b;
-}
 
 std::uint64_t
 FromFlagBytes(const std::byte* data)
@@ -87,9 +80,9 @@ HostProducer::Send(const std::vector<Bytes>& messages)
         // guarantees the consumer never sees a flag without its payload.
         co_await write_map_.Write(queue_.PayloadAddr(head_),
                                   message.data(), message.size());
-        const Bytes flag = ToFlagBytes(layout.GenerationOf(head_));
-        co_await write_map_.Write(queue_.FlagAddr(head_), flag.data(),
-                                  flag.size());
+        const std::uint64_t gen = layout.GenerationOf(head_);
+        co_await write_map_.Write(queue_.FlagAddr(head_), &gen,
+                                  sizeof(gen));
         // The payload store is a data access; the flag store is the
         // release half of the publication handshake (the flag bytes
         // themselves are never treated as data). The access must be
@@ -138,8 +131,8 @@ NicConsumer::MaybeSyncCounter()
     }
 }
 
-sim::Task<std::optional<Bytes>>
-NicConsumer::Poll()
+sim::Task<bool>
+NicConsumer::PollInto(Bytes& out)
 {
     const auto& layout = queue_.Layout();
     std::byte flag_raw[RingLayout::kFlagSize];
@@ -149,21 +142,21 @@ NicConsumer::Poll()
     co_await map_.Read(queue_.FlagAddr(tail_), flag_raw, sizeof(flag_raw),
                        /*tolerate_stale=*/true);  // gen mismatch => retry
     if (FromFlagBytes(flag_raw) != layout.GenerationOf(tail_)) {
-        co_return std::nullopt;
+        co_return false;
     }
     // Once the flag matched, the payload must have drained too (it is
     // written before the flag and fenced by the same sfence), so this
-    // read is checked strictly.
-    Bytes payload(layout.Config().payload_size);
-    co_await map_.Read(queue_.PayloadAddr(tail_), payload.data(),
-                       payload.size());
+    // read is checked strictly. A reused @p out keeps its capacity, so
+    // steady-state polling never touches the allocator.
+    out.resize(layout.Config().payload_size);
+    co_await map_.Read(queue_.PayloadAddr(tail_), out.data(), out.size());
     // The matching flag poll is the acquire half of the publication
     // handshake; it must precede the payload-read race check.
     WAVE_CHECK_HOOK({
         if (hb_ != nullptr) {
             hb_->OnAcquire(actor_, &queue_, tail_);
             hb_->OnAccess(actor_, &queue_, queue_.PayloadAddr(tail_),
-                          payload.size(), /*is_write=*/false,
+                          out.size(), /*is_write=*/false,
                           "NicConsumer::Poll[payload]");
         }
         if (protocol_ != nullptr) {
@@ -173,17 +166,30 @@ NicConsumer::Poll()
     });
     ++tail_;
     co_await MaybeSyncCounter();
-    co_return payload;
+    co_return true;
+}
+
+sim::Task<std::optional<Bytes>>
+NicConsumer::Poll()
+{
+    // The returned message is caller-owned, so this form pays one
+    // buffer per message by contract; PollInto is the reusing form.
+    Bytes payload;
+    if (!co_await PollInto(payload)) {
+        co_return std::nullopt;
+    }
+    co_return std::move(payload);
 }
 
 sim::Task<std::vector<Bytes>>
 NicConsumer::PollBatch(std::size_t max)
 {
     std::vector<Bytes> out;
+    out.reserve(max);
     while (out.size() < max) {
-        auto message = co_await Poll();
-        if (!message) break;
-        out.push_back(std::move(*message));
+        Bytes payload;
+        if (!co_await PollInto(payload)) break;
+        out.push_back(std::move(payload));
     }
     co_return out;
 }
@@ -284,8 +290,8 @@ HostConsumer::MaybeSyncCounter()
     }
 }
 
-sim::Task<std::optional<Bytes>>
-HostConsumer::Poll(bool flush_first)
+sim::Task<bool>
+HostConsumer::PollInto(Bytes& out, bool flush_first)
 {
     if (flush_first) {
         co_await FlushNext();
@@ -296,15 +302,17 @@ HostConsumer::Poll(bool flush_first)
     // PCIe roundtrip (or hits the cache if prefetched). Without an
     // explicit flush this is the sanctioned optimistic poll: a stale
     // cached slot fails the generation check and we retry after the
-    // next flush point, so the checker must not flag it.
-    Bytes slot(layout.Config().payload_size + RingLayout::kFlagSize);
-    co_await read_map_.Read(queue_.PayloadAddr(tail_), slot.data(),
-                            slot.size(),
+    // next flush point, so the checker must not flag it. A reused
+    // @p out keeps its capacity across polls, so neither resize here
+    // allocates in steady state.
+    out.resize(layout.Config().payload_size + RingLayout::kFlagSize);
+    co_await read_map_.Read(queue_.PayloadAddr(tail_), out.data(),
+                            out.size(),
                             /*tolerate_stale=*/!flush_first);  // gen-checked
     const std::uint64_t flag =
-        FromFlagBytes(slot.data() + layout.Config().payload_size);
+        FromFlagBytes(out.data() + layout.Config().payload_size);
     if (flag != layout.GenerationOf(tail_)) {
-        co_return std::nullopt;
+        co_return false;
     }
     WAVE_CHECK_HOOK({
         if (hb_ != nullptr) {
@@ -318,10 +326,22 @@ HostConsumer::Poll(bool flush_first)
                                     "HostConsumer::Poll");
         }
     });
-    slot.resize(layout.Config().payload_size);
+    out.resize(layout.Config().payload_size);
     ++tail_;
     co_await MaybeSyncCounter();
-    co_return slot;
+    co_return true;
+}
+
+sim::Task<std::optional<Bytes>>
+HostConsumer::Poll(bool flush_first)
+{
+    // The returned message is caller-owned, so this form pays one
+    // buffer per message by contract; PollInto is the reusing form.
+    Bytes slot;
+    if (!co_await PollInto(slot, flush_first)) {
+        co_return std::nullopt;
+    }
+    co_return std::move(slot);
 }
 
 sim::Task<>

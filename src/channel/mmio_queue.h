@@ -17,6 +17,7 @@
  * caching, clflush-based software coherence, and prefetching.
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstdint>
@@ -152,6 +153,14 @@ class NicConsumer {
     /** Returns the next message if one is ready; nullopt otherwise. */
     sim::Task<std::optional<Bytes>> Poll();
 
+    /**
+     * Allocation-free poll: resizes @p out to the payload size and
+     * fills it if a message is ready. A caller that reuses one buffer
+     * across polls pays no per-message heap allocation — the hot-loop
+     * form of Poll().
+     */
+    sim::Task<bool> PollInto(Bytes& out);
+
     /** Drains up to @p max ready messages. */
     sim::Task<std::vector<Bytes>> PollBatch(std::size_t max);
 
@@ -252,6 +261,12 @@ class HostConsumer {
      * coherence protocol from §5.3.2.
      */
     sim::Task<std::optional<Bytes>> Poll(bool flush_first);
+
+    /**
+     * Allocation-free poll: resizes @p out to the payload size and
+     * fills it if a message is ready (see NicConsumer::PollInto).
+     */
+    sim::Task<bool> PollInto(Bytes& out, bool flush_first);
 
     /**
      * Prefetches the line(s) of the next slot (§5.4). Call before doing

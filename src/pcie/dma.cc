@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-hot
 #include "pcie/dma.h"
 
 #include "check/coherence.h"
@@ -21,10 +22,28 @@ DmaEngine::TransferAsync(DmaInitiator initiator, MemoryRegion& src,
         co_await sim_.Delay(config_.nic_wb_access_ns *
                             config_.dma_doorbell_writes);
     }
-    auto completion = std::make_shared<DmaCompletion>(sim_);
+    auto completion = AcquireCompletion();
     sim_.Spawn(
         RunTransfer(completion, src, src_offset, dst, dst_offset, n));
     co_return completion;
+}
+
+std::shared_ptr<DmaCompletion>
+DmaEngine::AcquireCompletion()
+{
+    for (auto& pooled : completion_pool_) {
+        if (pooled.use_count() == 1 && pooled->Done()) {
+            pooled->Reset();
+            return pooled;
+        }
+    }
+    // Pool growth: only while more transfers are outstanding than ever
+    // before; steady state always finds a reusable handle above.
+    // wave-analyze: allow(W101 pool-growth path; runs only when outstanding transfers exceed the pool high-water mark)
+    auto fresh = std::make_shared<DmaCompletion>(sim_);
+    // wave-analyze: allow(W101 same pool-growth path as the make_shared above)
+    completion_pool_.push_back(fresh);
+    return fresh;
 }
 
 sim::Task<>
@@ -52,10 +71,12 @@ DmaEngine::RunTransfer(std::shared_ptr<DmaCompletion> completion,
     }
     co_await sim_.Delay(duration);
     // Data lands atomically at completion time: the engine writes the
-    // destination only after the full burst has crossed PCIe.
-    std::vector<std::byte> buffer(n);
-    src.ReadRaw(src_offset, buffer.data(), n);
-    dst.WriteRaw(dst_offset, buffer.data(), n);
+    // destination only after the full burst has crossed PCIe. The
+    // staging buffer is safe to share across transfers because the
+    // capacity-1 channel serializes this section.
+    scratch_.resize(n);
+    src.ReadRaw(src_offset, scratch_.data(), n);
+    dst.WriteRaw(dst_offset, scratch_.data(), n);
     if (write_observer_) {
         write_observer_(dst, dst_offset, n);
     }

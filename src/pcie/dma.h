@@ -15,11 +15,13 @@
  * DMA insight, 2-7x better throughput).
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "pcie/config.h"
 #include "pcie/memory.h"
@@ -64,6 +66,15 @@ class DmaCompletion {
     {
         done_ = true;
         done_signal_.NotifyAll();
+    }
+
+    /** Re-arms a drained completion for reuse by the engine's pool. */
+    void
+    Reset()
+    {
+        WAVE_ASSERT(done_ && done_signal_.WaiterCount() == 0,
+                    "resetting a completion that is still in use");
+        done_ = false;
     }
 
     sim::Signal done_signal_;
@@ -126,6 +137,7 @@ class DmaEngine {
      */
     void
     SetWriteObserver(
+        // wave-analyze: allow(W101 observer is wired once at runtime construction; invoking the stored callable does not allocate)
         std::function<void(MemoryRegion&, std::size_t, std::size_t)> cb)
     {
         write_observer_ = std::move(cb);
@@ -155,9 +167,27 @@ class DmaEngine {
                             MemoryRegion& dst, std::size_t dst_offset,
                             std::size_t n);
 
+    /**
+     * Hands out a completion handle, reusing a pooled one whose caller
+     * has dropped their reference (use_count == 1) and whose transfer
+     * finished. The pool levels off at the maximum number of
+     * concurrently outstanding transfers, so steady-state TransferAsync
+     * does not allocate.
+     */
+    std::shared_ptr<DmaCompletion> AcquireCompletion();
+
     sim::Simulator& sim_;
     PcieConfig config_;
     sim::Resource channel_;
+    std::vector<std::shared_ptr<DmaCompletion>> completion_pool_;
+
+    /**
+     * Copy staging buffer. The capacity-1 channel_ serializes the copy
+     * section of RunTransfer, so one buffer (grown to the largest
+     * transfer seen) serves every transfer without re-allocating.
+     */
+    std::vector<std::byte> scratch_;
+    // wave-analyze: allow(W101 member storage for the setup-time observer; assigned once, never rebound per event)
     std::function<void(MemoryRegion&, std::size_t, std::size_t)>
         write_observer_;
     check::CoherenceChecker* checker_ = nullptr;

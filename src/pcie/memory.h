@@ -7,6 +7,7 @@
  * over it (MmioMapping, DmaEngine, or zero-cost local access).
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstddef>

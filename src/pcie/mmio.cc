@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-hot
 #include "pcie/mmio.h"
 
 #include <algorithm>
@@ -33,6 +34,7 @@ ClampToLine(std::size_t line, std::size_t offset, std::size_t n)
 void
 NicDram::RegisterHostMapping(HostMmioMapping* mapping)
 {
+    // wave-analyze: allow(W101 mapping registration happens once per mapping at setup, never per access)
     host_mappings_.push_back(mapping);
 }
 
@@ -55,6 +57,11 @@ HostMmioMapping::HostMmioMapping(NicDram& dram, PteType type)
                 "write-back host mappings of NIC DRAM require a coherent "
                 "interconnect");
     dram.RegisterHostMapping(this);
+    // Pay the buffer capacities at setup time: a WC line holds at most
+    // kLineSize / kWordSize word stores, and the posted-buffer pool
+    // levels off at the number of concurrently in-flight bursts.
+    wc_stores_.reserve(PcieConfig::kLineSize / PcieConfig::kWordSize);
+    posted_pool_.reserve(16);
 }
 
 sim::Task<>
@@ -192,6 +199,24 @@ HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
     }
 }
 
+std::vector<std::byte>
+HostMmioMapping::AcquirePostedBuf(std::size_t n)
+{
+    std::vector<std::byte> buf;
+    if (!posted_pool_.empty()) {
+        buf = std::move(posted_pool_.back());
+        posted_pool_.pop_back();
+    }
+    buf.resize(n);
+    return buf;
+}
+
+void
+HostMmioMapping::RecyclePostedBuf(std::vector<std::byte>&& buf)
+{
+    posted_pool_.push_back(std::move(buf));
+}
+
 void
 HostMmioMapping::PostStores(std::size_t offset, const void* src,
                             std::size_t n)
@@ -201,7 +226,7 @@ HostMmioMapping::PostStores(std::size_t offset, const void* src,
     // event queue is FIFO at equal timestamps), but injected latency
     // spikes vary it, so clamp each landing to the previous burst's
     // visibility time: posted writes never reorder, they only bunch up.
-    std::vector<std::byte> copy(n);
+    std::vector<std::byte> copy = AcquirePostedBuf(n);
     std::memcpy(copy.data(), src, n);
     const sim::TimeNs visible_at =
         std::max(dram_.Sim().Now() + config_.posted_visibility_ns +
@@ -209,8 +234,9 @@ HostMmioMapping::PostStores(std::size_t offset, const void* src,
                  last_posted_visible_);
     last_posted_visible_ = visible_at;
     dram_.Sim().ScheduleAt(
-        visible_at, [this, offset, data = std::move(copy)] {
+        visible_at, [this, offset, data = std::move(copy)]() mutable {
             dram_.Backing().WriteRaw(offset, data.data(), data.size());
+            RecyclePostedBuf(std::move(data));
         });
 }
 
@@ -228,9 +254,10 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
         if (first_line == last_line) {
             wc_active_ = true;
             wc_line_ = first_line;
-            std::vector<std::byte> copy(n);
-            std::memcpy(copy.data(), src, n);
-            wc_stores_.emplace_back(offset, std::move(copy));
+            WcStore& store = wc_stores_.emplace_back();
+            store.offset = offset;
+            store.len = n;
+            std::memcpy(store.data.data(), src, n);
             WAVE_CHECK_HOOK({
                 if (auto* checker = dram_.Checker()) {
                     checker->OnWcBuffered(&dram_.Backing(), offset, n,
@@ -292,22 +319,31 @@ HostMmioMapping::Sfence()
     stats_.wc_flushes += 1;
     stats_.posted_writes += 1;  // the drained burst is one posted write
     wc_active_ = false;
+    // Move to a local: a nested Write/Sfence during the delay below may
+    // start (and drain) a new buffer, which must not clobber this one.
     auto stores = std::move(wc_stores_);
     wc_stores_.clear();
     co_await dram_.Sim().Delay(config_.sfence_ns);
-    for (auto& [off, data] : stores) {
+    for (const WcStore& store : stores) {
         WAVE_CHECK_HOOK({
             if (auto* checker = dram_.Checker()) {
-                checker->OnWcDrained(&dram_.Backing(), off, data.size());
+                checker->OnWcDrained(&dram_.Backing(), store.offset,
+                                     store.len);
             }
         });
-        PostStores(off, data.data(), data.size());
+        PostStores(store.offset, store.data.data(), store.len);
     }
     WAVE_CHECK_HOOK({
         if (auto* checker = dram_.Checker()) {
             checker->OnOrderingPoint("sfence");
         }
     });
+    // Hand the drained buffer's capacity back unless a nested burst
+    // already started a fresh one.
+    if (wc_stores_.capacity() == 0) {
+        stores.clear();
+        wc_stores_ = std::move(stores);
+    }
 }
 
 void

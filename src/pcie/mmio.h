@@ -28,8 +28,10 @@
  * exactly as they would on hardware.
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -186,6 +188,14 @@ class HostMmioMapping {
     /** Issues the posted stores for [offset, n) (visibility-delayed). */
     void PostStores(std::size_t offset, const void* src, std::size_t n);
 
+    /**
+     * Checks out a payload buffer for one posted burst. Buffers recycle
+     * through posted_pool_ when the visibility event lands, so the
+     * steady-state posted-write path never allocates.
+     */
+    std::vector<std::byte> AcquirePostedBuf(std::size_t n);
+    void RecyclePostedBuf(std::vector<std::byte>&& buf);
+
     /** Hardware invalidation callback (coherent mode). */
     void InvalidateLines(std::size_t offset, std::size_t n);
 
@@ -207,10 +217,20 @@ class HostMmioMapping {
      */
     sim::TimeNs last_posted_visible_{};
 
-    // Write-combining buffer: at most one line being combined.
+    // Write-combining buffer: at most one line being combined. Each
+    // buffered store spans at most one line, so its payload fits a
+    // fixed-size slot — no per-store heap allocation.
+    struct WcStore {
+        std::size_t offset = 0;
+        std::size_t len = 0;
+        std::array<std::byte, PcieConfig::kLineSize> data{};
+    };
     bool wc_active_ = false;
     std::size_t wc_line_ = 0;
-    std::vector<std::pair<std::size_t, std::vector<std::byte>>> wc_stores_;
+    std::vector<WcStore> wc_stores_;
+
+    /** Recycled posted-burst payload buffers (see AcquirePostedBuf). */
+    std::vector<std::vector<std::byte>> posted_pool_;
 };
 
 /** A SmartNIC core's view of the NIC DRAM (its own local memory). */

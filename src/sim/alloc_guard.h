@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Global heap-allocation counters for zero-allocation assertions.
+ *
+ * This is the dynamic twin of wave_analyze's W101 rule: the static
+ * checker proves hot code *looks* allocation-free, AllocGuard proves a
+ * running hot loop *is*. Linking the `wave_alloc_guard` library into a
+ * binary replaces the global operator new/delete with counting
+ * wrappers; an AllocGuard then measures the allocation delta across a
+ * region:
+ *
+ *     // warm up pools/capacities first
+ *     sim::AllocGuard guard;
+ *     RunSteadyStateLoop();
+ *     EXPECT_EQ(guard.Allocations(), 0u);
+ *
+ * Test- and bench-only: production targets must NOT link
+ * wave_alloc_guard (the counters are not thread-safe — like the sim
+ * core they guard, they assume a single-threaded process).
+ */
+// wave-domain: harness
+#pragma once
+
+#include <cstdint>
+
+namespace wave::sim {
+
+/** Cumulative process-wide heap counters (monotonic). */
+struct AllocCounters {
+    std::uint64_t allocations = 0;  ///< operator new calls
+    std::uint64_t frees = 0;        ///< operator delete calls
+    std::uint64_t bytes = 0;        ///< total bytes requested
+};
+
+/**
+ * Current counter values. Returns all-zero (and stays zero) unless the
+ * binary links wave_alloc_guard, whose operator new/delete definitions
+ * feed the counters.
+ */
+AllocCounters AllocSnapshot();
+
+/** Measures the allocation delta since its construction. */
+class AllocGuard {
+  public:
+    AllocGuard() : start_(AllocSnapshot()) {}
+
+    /** Heap allocations since construction. */
+    std::uint64_t
+    Allocations() const
+    {
+        return AllocSnapshot().allocations - start_.allocations;
+    }
+
+    /** Heap frees since construction. */
+    std::uint64_t
+    Frees() const
+    {
+        return AllocSnapshot().frees - start_.frees;
+    }
+
+    /** Heap bytes requested since construction. */
+    std::uint64_t
+    Bytes() const
+    {
+        return AllocSnapshot().bytes - start_.bytes;
+    }
+
+  private:
+    AllocCounters start_;
+};
+
+}  // namespace wave::sim

@@ -1,0 +1,89 @@
+// wave-domain: neutral
+// wave-hot
+#include "sim/frame_pool.h"
+
+#include <new>
+
+namespace wave::sim::detail {
+
+namespace {
+
+/** Size-class granularity; also the header-preserved alignment. */
+constexpr std::size_t kGranularity = 64;
+
+/** Largest pooled block (frame + header); bigger frames hit the heap. */
+constexpr std::size_t kMaxPooledBytes = 2048;
+
+constexpr std::size_t kNumClasses = kMaxPooledBytes / kGranularity;
+
+/**
+ * Every block starts with a 16-byte header holding its size class, so
+ * the unsized operator delete can route the block back to the right
+ * free list. 16 bytes keeps the frame at the default new alignment.
+ */
+constexpr std::size_t kHeaderBytes = 16;
+
+struct FreeNode {
+    FreeNode* next;
+};
+
+// Single-threaded by design (the simulator core never shares frames
+// across threads); see the file comment.
+FreeNode* g_free_lists[kNumClasses];
+std::uint64_t g_reuses = 0;
+std::uint64_t g_oversized = 0;
+
+void*
+Stamp(void* raw, std::size_t cls)
+{
+    *static_cast<std::size_t*>(raw) = cls;
+    return static_cast<char*>(raw) + kHeaderBytes;
+}
+
+}  // namespace
+
+void*
+AllocFrame(std::size_t bytes)
+{
+    const std::size_t total = bytes + kHeaderBytes;
+    if (total > kMaxPooledBytes) {
+        ++g_oversized;
+        return Stamp(::operator new(total), kNumClasses);
+    }
+    const std::size_t cls = (total + kGranularity - 1) / kGranularity - 1;
+    if (FreeNode* node = g_free_lists[cls]) {
+        g_free_lists[cls] = node->next;
+        ++g_reuses;
+        return Stamp(node, cls);
+    }
+    return Stamp(::operator new((cls + 1) * kGranularity), cls);
+}
+
+void
+FreeFrame(void* frame) noexcept
+{
+    if (frame == nullptr) return;
+    void* raw = static_cast<char*>(frame) - kHeaderBytes;
+    const std::size_t cls = *static_cast<std::size_t*>(raw);
+    if (cls >= kNumClasses) {
+        ::operator delete(raw);
+        return;
+    }
+    auto* node = static_cast<FreeNode*>(raw);
+    node->next = g_free_lists[cls];
+    g_free_lists[cls] = node;
+}
+
+std::uint64_t
+FramePoolReuses()
+{
+    return g_reuses;
+}
+
+std::uint64_t
+FramePoolOversized()
+{
+    return g_oversized;
+}
+
+}  // namespace wave::sim::detail

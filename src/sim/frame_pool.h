@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Size-classed free-list pool for coroutine frames.
+ *
+ * Every co_await of a sub-task allocates a coroutine frame, so a busy
+ * model (one that factors work into helper tasks, as this one does)
+ * allocates frames at event rate. The pool intercepts the promise-level
+ * operator new/delete: frames recycle through per-size-class free lists
+ * after the first allocation, making steady-state frame churn
+ * allocation-free. Like the simulator itself the pool is
+ * single-threaded by design — wave_analyze's W103 enforces that no
+ * locking creeps into this layer.
+ *
+ * Blocks are never returned to the OS; a long run reaches its
+ * high-water mark of simultaneously-live frames per size class and
+ * stays there. Pooled blocks remain reachable through the class free
+ * lists, so leak checkers see "still reachable", not leaks.
+ */
+// wave-domain: neutral
+// wave-hot
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wave::sim::detail {
+
+/** Allocates a coroutine frame of @p bytes from the pool. */
+void* AllocFrame(std::size_t bytes);
+
+/** Returns a frame to its size-class free list (null is a no-op). */
+void FreeFrame(void* frame) noexcept;
+
+/** Frames served from a free list (vs. fresh heap), for tests. */
+std::uint64_t FramePoolReuses();
+
+/** Frames that fell through to the heap because of their size. */
+std::uint64_t FramePoolOversized();
+
+}  // namespace wave::sim::detail

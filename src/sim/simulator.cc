@@ -27,28 +27,32 @@ Simulator::~Simulator()
     SweepRoots(/*all=*/true);
 }
 
+// The schedule/step core below runs once per simulated event — the
+// hottest code in the tree. The destructor and SweepRoots stay outside
+// the region: they run at teardown or every kSweepInterval events.
+// wave-hot: begin
 void
-Simulator::Schedule(DurationNs delay, std::function<void()> fn)
+Simulator::Schedule(DurationNs delay, InlineFn fn)
 {
     ScheduleAt(now_ + delay, std::move(fn));
 }
 
 void
-Simulator::ScheduleAt(TimeNs when, std::function<void()> fn)
+Simulator::ScheduleAt(TimeNs when, InlineFn fn)
 {
     Push(when, Event::kUnkeyed, std::move(fn));
 }
 
 void
 Simulator::ScheduleKeyed(DurationNs delay, std::uint64_t key,
-                         std::function<void()> fn)
+                         InlineFn fn)
 {
     ScheduleAtKeyed(now_ + delay, key, std::move(fn));
 }
 
 void
 Simulator::ScheduleAtKeyed(TimeNs when, std::uint64_t key,
-                           std::function<void()> fn)
+                           InlineFn fn)
 {
     WAVE_ASSERT(key != Event::kUnkeyed,
                 "the all-ones key is reserved for unkeyed events");
@@ -56,7 +60,7 @@ Simulator::ScheduleAtKeyed(TimeNs when, std::uint64_t key,
 }
 
 void
-Simulator::Push(TimeNs when, std::uint64_t key, std::function<void()> fn)
+Simulator::Push(TimeNs when, std::uint64_t key, InlineFn fn)
 {
     WAVE_ASSERT(when >= now_, "scheduling into the past");
     if (tie_audit_) {
@@ -74,6 +78,23 @@ Simulator::Spawn(Task<> task)
 {
     auto handle = task.Release();
     WAVE_ASSERT(handle != nullptr, "spawning an empty task");
+    // Reap up to two completed processes per spawn: spawn-per-work-item
+    // models (one process per async DMA transfer, say) then return dead
+    // root frames to the frame pool at spawn rate — and release the
+    // resources those frames hold — instead of waiting out the periodic
+    // sweep. Reaping destroys frames but schedules nothing, so it never
+    // perturbs the event stream the determinism fingerprint hashes.
+    for (int scanned = 0; scanned < 2 && !roots_.empty(); ++scanned) {
+        if (reap_cursor_ >= roots_.size()) reap_cursor_ = 0;
+        if (roots_[reap_cursor_].done()) {
+            DestroyRoot(roots_[reap_cursor_]);
+            roots_.erase(roots_.begin() +
+                         static_cast<std::ptrdiff_t>(reap_cursor_));
+        } else {
+            ++reap_cursor_;
+        }
+    }
+    // wave-analyze: allow(W101 roots_ keeps its capacity across sweeps, so steady-state spawn/sweep cycles reuse freed slots)
     roots_.push_back(handle);
     Schedule(0, [handle] { handle.resume(); });
 }
@@ -135,6 +156,24 @@ Simulator::RunUntil(TimeNs when)
         now_ = when;
     }
 }
+// wave-hot: end
+
+void
+Simulator::DestroyRoot(std::coroutine_handle<Task<>::promise_type> root)
+{
+    if (root.done() && root.promise().exception) {
+        // A detached process died with an exception nobody can
+        // observe; surface it loudly instead of losing it.
+        try {
+            std::rethrow_exception(root.promise().exception);
+        } catch (const std::exception& e) {
+            Panic("root process threw: %s", e.what());
+        } catch (...) {
+            Panic("root process threw a non-std exception");
+        }
+    }
+    root.destroy();
+}
 
 void
 Simulator::SweepRoots(bool all)
@@ -142,18 +181,7 @@ Simulator::SweepRoots(bool all)
     auto it = roots_.begin();
     while (it != roots_.end()) {
         if (all || it->done()) {
-            if (it->done() && it->promise().exception) {
-                // A detached process died with an exception nobody can
-                // observe; surface it loudly instead of losing it.
-                try {
-                    std::rethrow_exception(it->promise().exception);
-                } catch (const std::exception& e) {
-                    Panic("root process threw: %s", e.what());
-                } catch (...) {
-                    Panic("root process threw a non-std exception");
-                }
-            }
-            it->destroy();
+            DestroyRoot(*it);
             it = roots_.erase(it);
         } else {
             ++it;

@@ -21,16 +21,17 @@
  * situations where execution order silently depends on schedule order.
  */
 // wave-domain: neutral
+// wave-hot
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <queue>
 #include <vector>
 
 #include "check/fnv.h"
+#include "sim/inline_fn.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -48,11 +49,17 @@ class Simulator {
     /** Current simulated time. */
     TimeNs Now() const { return now_; }
 
-    /** Schedules @p fn to run @p delay nanoseconds from now. */
-    void Schedule(DurationNs delay, std::function<void()> fn);
+    /**
+     * Schedules @p fn to run @p delay nanoseconds from now.
+     *
+     * The closure is stored in an InlineFn: captures up to 48 bytes
+     * ride inline with the event and the hot path never touches the
+     * heap (std::function arguments still convert, via one move).
+     */
+    void Schedule(DurationNs delay, InlineFn fn);
 
     /** Schedules @p fn at absolute time @p when (must be >= Now()). */
-    void ScheduleAt(TimeNs when, std::function<void()> fn);
+    void ScheduleAt(TimeNs when, InlineFn fn);
 
     /**
      * Schedules @p fn with an explicit same-timestamp tie-break key.
@@ -65,11 +72,11 @@ class Simulator {
      * an unordered registry) stays run-to-run reproducible.
      */
     void ScheduleKeyed(DurationNs delay, std::uint64_t key,
-                       std::function<void()> fn);
+                       InlineFn fn);
 
     /** Absolute-time variant of ScheduleKeyed(). */
     void ScheduleAtKeyed(TimeNs when, std::uint64_t key,
-                         std::function<void()> fn);
+                         InlineFn fn);
 
     /**
      * Starts a detached coroutine process.
@@ -163,7 +170,7 @@ class Simulator {
         TimeNs when;
         std::uint64_t key;  ///< explicit tie-break, or kUnkeyed
         std::uint64_t seq;
-        std::function<void()> fn;
+        InlineFn fn;
 
         /** Sentinel key for events scheduled without a tie-break. */
         static constexpr std::uint64_t kUnkeyed = ~0ULL;
@@ -180,13 +187,17 @@ class Simulator {
         }
     };
 
-    void Push(TimeNs when, std::uint64_t key, std::function<void()> fn);
+    void Push(TimeNs when, std::uint64_t key, InlineFn fn);
 
     /** Destroys finished root frames; destroys all frames if @p all. */
     void SweepRoots(bool all);
 
+    /** Destroys one root frame, surfacing any stored exception. */
+    void DestroyRoot(std::coroutine_handle<Task<>::promise_type> root);
+
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
     std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
+    std::size_t reap_cursor_ = 0;  ///< round-robin incremental reap
     TimeNs now_{};
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;

@@ -1,4 +1,5 @@
 // wave-domain: neutral
+// wave-hot
 #include "sim/sync.h"
 
 #include <memory>
@@ -27,8 +28,9 @@ RunAndCount(std::shared_ptr<JoinState> state, Task<> task)
 }  // namespace
 
 Task<>
-AwaitAll(Simulator& sim, std::vector<Task<>> tasks)
+AwaitAll(Simulator& sim, std::vector<Task<>>&& tasks)
 {
+    // wave-analyze: allow(W101 one allocation per join group at fan-out setup, not per event; the group's tasks amortize it)
     auto state = std::make_shared<JoinState>(sim);
     state->remaining = tasks.size();
     for (auto& task : tasks) {

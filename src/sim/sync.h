@@ -8,13 +8,16 @@
  * time, so wakeups are ordered deterministically with everything else.
  */
 // wave-domain: neutral
+// wave-hot
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "sim/fifo_ring.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -46,7 +49,7 @@ class Signal {
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                signal.waiters_.push_back(h);
+                signal.waiters_.PushBack(h);
             }
 
             void await_resume() const {}
@@ -58,9 +61,8 @@ class Signal {
     void
     NotifyOne()
     {
-        if (waiters_.empty()) return;
-        auto h = waiters_.front();
-        waiters_.pop_front();
+        if (waiters_.Empty()) return;
+        auto h = waiters_.PopFront();
         sim_.Schedule(0, [h] { h.resume(); });
     }
 
@@ -68,17 +70,17 @@ class Signal {
     void
     NotifyAll()
     {
-        while (!waiters_.empty()) {
+        while (!waiters_.Empty()) {
             NotifyOne();
         }
     }
 
     /** Number of processes currently blocked in Wait(). */
-    std::size_t WaiterCount() const { return waiters_.size(); }
+    std::size_t WaiterCount() const { return waiters_.Size(); }
 
   private:
     Simulator& sim_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    FifoRing<std::coroutine_handle<>> waiters_;
 };
 
 /**
@@ -97,39 +99,75 @@ class Channel {
     void
     Push(T item)
     {
-        items_.push_back(std::move(item));
+        items_.PushBack(std::move(item));
         signal_.NotifyOne();
     }
+
+    /**
+     * Bulk enqueue: moves every element of @p items into the channel
+     * (clearing it) and wakes one waiting receiver per item, paying
+     * the ring-growth and wakeup bookkeeping once for the whole batch.
+     * This is the API W106 points hot loops at.
+     */
+    void
+    PushBatch(std::vector<T>& items)
+    {
+        items_.Reserve(items_.Size() + items.size());
+        const std::size_t wake =
+            std::min(signal_.WaiterCount(), items.size());
+        for (T& item : items) {
+            items_.PushBack(std::move(item));
+        }
+        items.clear();
+        for (std::size_t i = 0; i < wake; ++i) {
+            signal_.NotifyOne();
+        }
+    }
+
+    /** Pre-sizes the item ring so pushes up to @p n never allocate. */
+    void Reserve(std::size_t n) { items_.Reserve(n); }
 
     /** Suspends until an item is available, then dequeues it. */
     Task<T>
     Receive()
     {
-        while (items_.empty()) {
+        while (items_.Empty()) {
             co_await signal_.Wait();
         }
-        T item = std::move(items_.front());
-        items_.pop_front();
-        co_return item;
+        co_return items_.PopFront();
     }
 
     /** Non-blocking receive; empty optional if no item is queued. */
     std::optional<T>
     TryReceive()
     {
-        if (items_.empty()) return std::nullopt;
-        T item = std::move(items_.front());
-        items_.pop_front();
-        return item;
+        if (items_.Empty()) return std::nullopt;
+        return items_.PopFront();
     }
 
-    std::size_t Size() const { return items_.size(); }
-    bool Empty() const { return items_.empty(); }
+    /**
+     * Bulk non-blocking receive: appends up to @p max queued items to
+     * @p out and returns how many were moved. The one reserve() covers
+     * the whole drain, so a polling loop dequeues allocation-free.
+     */
+    std::size_t
+    TryReceiveBatch(std::vector<T>& out, std::size_t max)
+    {
+        const std::size_t n = std::min(max, items_.Size());
+        out.reserve(out.size() + n);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(items_.PopFront());
+        }
+        return n;
+    }
+
+    std::size_t Size() const { return items_.Size(); }
+    bool Empty() const { return items_.Empty(); }
 
   private:
     Simulator& sim_;
     Signal signal_;
-    std::deque<T> items_;
+    FifoRing<T> items_;
 };
 
 /**
@@ -179,6 +217,6 @@ class Resource {
  * The tasks are spawned as detached processes; the returned task suspends
  * until the last one completes.
  */
-Task<> AwaitAll(Simulator& sim, std::vector<Task<>> tasks);
+Task<> AwaitAll(Simulator& sim, std::vector<Task<>>&& tasks);
 
 }  // namespace wave::sim

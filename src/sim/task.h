@@ -21,12 +21,15 @@
  * up processes that never finish (e.g. infinite server loops) at teardown.
  */
 // wave-domain: neutral
+// wave-hot
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
+#include "sim/frame_pool.h"
 #include "sim/logging.h"
 
 namespace wave::sim {
@@ -58,6 +61,21 @@ struct PromiseBase {
     std::suspend_always initial_suspend() noexcept { return {}; }
     FinalAwaiter final_suspend() noexcept { return {}; }
     void unhandled_exception() { exception = std::current_exception(); }
+
+    /**
+     * Coroutine frames recycle through the size-classed frame pool:
+     * task-per-event models allocate frames at event rate, and the
+     * pool makes that churn allocation-free after warmup.
+     */
+    static void* operator new(std::size_t bytes)
+    {
+        return AllocFrame(bytes);
+    }
+
+    static void operator delete(void* frame) noexcept
+    {
+        FreeFrame(frame);
+    }
 };
 
 }  // namespace detail

@@ -37,6 +37,7 @@
  * static_casts between floating point and time outside this file.
  */
 // wave-domain: neutral
+// wave-hot
 #pragma once
 
 #include <cstdint>

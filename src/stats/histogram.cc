@@ -2,30 +2,11 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "sim/logging.h"
 
 namespace wave::stats {
-
-std::size_t
-Histogram::BucketIndex(std::uint64_t value)
-{
-    if (value < kSubBucketCount) {
-        return static_cast<std::size_t>(value);
-    }
-    // msb >= kSubBucketBits here. Values in [2^msb, 2^(msb+1)) map to
-    // kSubBucketCount buckets selected by the bits just below the msb.
-    const int msb = 63 - std::countl_zero(value);
-    const int shift = msb - kSubBucketBits;
-    const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
-    // Power-of-two "row": rows for msb == kSubBucketBits start right after
-    // the exact [0, kSubBucketCount) range.
-    const std::size_t row = static_cast<std::size_t>(msb - kSubBucketBits);
-    return kSubBucketCount + row * kSubBucketCount +
-           static_cast<std::size_t>(sub);
-}
 
 std::uint64_t
 Histogram::BucketRepresentative(std::size_t index)
@@ -41,27 +22,6 @@ Histogram::BucketRepresentative(std::size_t index)
     const std::uint64_t lo = (1ull << msb) + (sub << shift);
     const std::uint64_t width = 1ull << shift;
     return lo + width / 2;  // bucket midpoint
-}
-
-void
-Histogram::Record(std::uint64_t value)
-{
-    RecordMany(value, 1);
-}
-
-void
-Histogram::RecordMany(std::uint64_t value, std::uint64_t n)
-{
-    if (n == 0) return;
-    const std::size_t index = BucketIndex(value);
-    if (index >= buckets_.size()) {
-        buckets_.resize(index + 1, 0);
-    }
-    buckets_[index] += n;
-    count_ += n;
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-    sum_ += static_cast<double>(value) * static_cast<double>(n);
 }
 
 double
@@ -94,9 +54,6 @@ void
 Histogram::Merge(const Histogram& other)
 {
     if (other.count_ == 0) return;
-    if (other.buckets_.size() > buckets_.size()) {
-        buckets_.resize(other.buckets_.size(), 0);
-    }
     for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
         buckets_[i] += other.buckets_[i];
     }
@@ -109,7 +66,7 @@ Histogram::Merge(const Histogram& other)
 void
 Histogram::Reset()
 {
-    buckets_.clear();
+    std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
     min_ = ~0ull;
     max_ = 0;

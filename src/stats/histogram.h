@@ -11,6 +11,8 @@
 // wave-domain: neutral
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -19,13 +21,29 @@ namespace wave::stats {
 /** A fixed-precision logarithmic histogram of uint64 samples. */
 class Histogram {
   public:
-    Histogram() = default;
+    /**
+     * The bucket table covers every representable msb row up front
+     * (~15 KiB), so the record path is branch-reduced and never
+     * resizes: workload drivers record at event rate.
+     */
+    Histogram() : buckets_(kBucketTableSize, 0) {}
 
+    // wave-hot: begin
     /** Records one sample. */
-    void Record(std::uint64_t value);
+    void Record(std::uint64_t value) { RecordMany(value, 1); }
 
     /** Records @p count identical samples. */
-    void RecordMany(std::uint64_t value, std::uint64_t count);
+    void
+    RecordMany(std::uint64_t value, std::uint64_t count)
+    {
+        if (count == 0) return;
+        buckets_[BucketIndex(value)] += count;
+        count_ += count;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        sum_ += static_cast<double>(value) * static_cast<double>(count);
+    }
+    // wave-hot: end
 
     /** Number of recorded samples. */
     std::uint64_t Count() const { return count_; }
@@ -56,7 +74,32 @@ class Histogram {
     static constexpr int kSubBucketBits = 5;
     static constexpr std::uint64_t kSubBucketCount = 1ull << kSubBucketBits;
 
-    static std::size_t BucketIndex(std::uint64_t value);
+    /** One row per msb in [kSubBucketBits, 63], plus the exact range. */
+    static constexpr std::size_t kBucketTableSize =
+        kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;
+
+    // wave-hot: begin
+    static std::size_t
+    BucketIndex(std::uint64_t value)
+    {
+        if (value < kSubBucketCount) {
+            return static_cast<std::size_t>(value);
+        }
+        // msb >= kSubBucketBits here. Values in [2^msb, 2^(msb+1)) map
+        // to kSubBucketCount buckets selected by the bits just below
+        // the msb.
+        const int msb = 63 - std::countl_zero(value);
+        const int shift = msb - kSubBucketBits;
+        const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
+        // Power-of-two "row": rows for msb == kSubBucketBits start
+        // right after the exact [0, kSubBucketCount) range.
+        const std::size_t row =
+            static_cast<std::size_t>(msb - kSubBucketBits);
+        return kSubBucketCount + row * kSubBucketCount +
+               static_cast<std::size_t>(sub);
+    }
+    // wave-hot: end
+
     static std::uint64_t BucketRepresentative(std::size_t index);
 
     std::vector<std::uint64_t> buckets_;

@@ -10,10 +10,10 @@
  * against the same software over Wave's PCIe queues (offloaded).
  */
 // wave-domain: pcie
+// wave-hot
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -22,6 +22,7 @@
 #include "check/hooks.h"
 #include "check/protocol.h"
 #include "sim/actor.h"
+#include "sim/fifo_ring.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 
@@ -44,7 +45,7 @@ class ShmQueue {
   public:
     ShmQueue(sim::Simulator& sim, std::size_t capacity,
              ShmCosts costs = {})
-        : sim_(sim), capacity_(capacity), costs_(costs)
+        : sim_(sim), capacity_(capacity), costs_(costs), items_(capacity)
     {
     }
 
@@ -54,7 +55,7 @@ class ShmQueue {
     {
         std::size_t sent = 0;
         for (const auto& message : messages) {
-            if (items_.size() >= capacity_) break;
+            if (items_.Size() >= capacity_) break;
             co_await sim_.Delay(costs_.write_entry_ns);
             WAVE_CHECK_HOOK({
                 if (checker_ != nullptr) {
@@ -75,7 +76,7 @@ class ShmQueue {
                                             "ShmQueue::Send");
                 }
             });
-            items_.push_back(message);
+            items_.PushBack(message);
             ++sent_;
             ++sent;
         }
@@ -86,13 +87,12 @@ class ShmQueue {
     sim::Task<std::optional<std::vector<std::byte>>>
     Poll()
     {
-        if (items_.empty()) {
+        if (items_.Empty()) {
             co_await sim_.Delay(costs_.empty_poll_ns);
             co_return std::nullopt;
         }
         co_await sim_.Delay(costs_.read_entry_ns);
-        auto out = std::move(items_.front());
-        items_.pop_front();
+        auto out = items_.PopFront();
         WAVE_CHECK_HOOK({
             if (checker_ != nullptr) {
                 checker_->OnShmAccess(out.size());
@@ -114,7 +114,7 @@ class ShmQueue {
         co_return out;
     }
 
-    std::size_t Size() const { return items_.size(); }
+    std::size_t Size() const { return items_.Size(); }
 
     /**
      * Attaches the wave::check checker. Coherent shared memory cannot
@@ -152,7 +152,7 @@ class ShmQueue {
     sim::Simulator& sim_;
     std::size_t capacity_;
     ShmCosts costs_;
-    std::deque<std::vector<std::byte>> items_;
+    sim::FifoRing<std::vector<std::byte>> items_;
     std::uint64_t sent_ = 0;      ///< absolute seqnum of next enqueue
     std::uint64_t received_ = 0;  ///< absolute seqnum of next dequeue
     check::CoherenceChecker* checker_ = nullptr;

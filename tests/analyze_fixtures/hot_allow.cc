@@ -1,0 +1,16 @@
+// Fixture: justified suppression of a hot-path rule. The allow() with a
+// written reason silences W101 and the run exits clean, counting one
+// suppression.
+// wave-domain: neutral
+// wave-hot
+
+namespace wave::fixture {
+
+inline int*
+GrowthPath()
+{
+    // wave-analyze: allow(W101 growth path runs once at setup, never per event)
+    return new int(4);
+}
+
+}  // namespace wave::fixture

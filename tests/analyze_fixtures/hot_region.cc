@@ -1,0 +1,28 @@
+// Fixture: region-scoped wave-hot. Only the allocation between the
+// begin/end markers trips W101; the identical allocations outside the
+// region stay silent.
+// wave-domain: neutral
+
+namespace wave::fixture {
+
+inline int*
+ColdSetup()
+{
+    return new int(1);
+}
+
+// wave-hot: begin
+inline int*
+HotPath()
+{
+    return new int(2);
+}
+// wave-hot: end
+
+inline int*
+ColdTeardown()
+{
+    return new int(3);
+}
+
+}  // namespace wave::fixture

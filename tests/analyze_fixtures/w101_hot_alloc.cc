@@ -1,0 +1,13 @@
+// Fixture: heap allocation inside a hot region -> W101.
+// wave-domain: neutral
+// wave-hot
+
+namespace wave::fixture {
+
+inline int*
+PerEventNode()
+{
+    return new int(7);
+}
+
+}  // namespace wave::fixture

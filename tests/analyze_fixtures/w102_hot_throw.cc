@@ -1,0 +1,13 @@
+// Fixture: exception machinery inside a hot region -> W102.
+// wave-domain: neutral
+// wave-hot
+
+namespace wave::fixture {
+
+inline void
+Validate(int v)
+{
+    if (v < 0) throw v;
+}
+
+}  // namespace wave::fixture

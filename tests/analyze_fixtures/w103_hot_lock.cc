@@ -1,0 +1,10 @@
+// Fixture: synchronization primitive inside a hot region -> W103.
+// wave-domain: neutral
+// wave-hot
+#include <mutex>
+
+namespace wave::fixture {
+
+inline std::mutex g_hot_lock;
+
+}  // namespace wave::fixture

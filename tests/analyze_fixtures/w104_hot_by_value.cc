@@ -1,0 +1,14 @@
+// Fixture: heavy type passed by value across a hot signature -> W104.
+// wave-domain: neutral
+// wave-hot
+#include <string>
+
+namespace wave::fixture {
+
+inline std::size_t
+Consume(std::string name)
+{
+    return name.size();
+}
+
+}  // namespace wave::fixture

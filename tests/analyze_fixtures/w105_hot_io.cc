@@ -1,0 +1,14 @@
+// Fixture: I/O call inside a hot region -> W105.
+// wave-domain: neutral
+// wave-hot
+#include <cstdio>
+
+namespace wave::fixture {
+
+inline void
+Report(int v)
+{
+    std::printf("%d\n", v);
+}
+
+}  // namespace wave::fixture

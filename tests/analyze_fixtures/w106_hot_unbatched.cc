@@ -1,0 +1,16 @@
+// Fixture: per-element channel op inside a hot loop -> W106.
+// wave-domain: neutral
+// wave-hot
+
+namespace wave::fixture {
+
+template <typename C>
+inline void
+FloodOneByOne(C& ch)
+{
+    for (int i = 0; i < 64; ++i) {
+        ch.Push(i);
+    }
+}
+
+}  // namespace wave::fixture

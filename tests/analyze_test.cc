@@ -4,8 +4,9 @@
  *
  * Two halves:
  *  - planted-violation fixtures under tests/analyze_fixtures/, one per
- *    rule W001..W008, each asserted to trip exactly the rule it plants
- *    (plus suppression and clean-file fixtures asserted silent);
+ *    rule W001..W008 and W101..W106, each asserted to trip exactly the
+ *    rule it plants (plus suppression, region-scoping, and clean-file
+ *    fixtures asserted silent);
  *  - a clean-tree run over the real src/ with the shipped baseline,
  *    asserted to report zero violations — the same invocation the
  *    `analyze` build target and CI run.
@@ -115,6 +116,65 @@ TEST(AnalyzeFixtures, W008TimeNarrowing)
     ExpectDetected("w008_time_narrowing.cc", "W008");
 }
 
+TEST(AnalyzeFixtures, W101HotAllocation)
+{
+    ExpectDetected("w101_hot_alloc.cc", "W101");
+}
+
+TEST(AnalyzeFixtures, W102HotThrow)
+{
+    ExpectDetected("w102_hot_throw.cc", "W102");
+}
+
+TEST(AnalyzeFixtures, W103HotLock)
+{
+    ExpectDetected("w103_hot_lock.cc", "W103");
+}
+
+TEST(AnalyzeFixtures, W104HotHeavyByValue)
+{
+    ExpectDetected("w104_hot_by_value.cc", "W104");
+}
+
+TEST(AnalyzeFixtures, W105HotIo)
+{
+    ExpectDetected("w105_hot_io.cc", "W105");
+}
+
+TEST(AnalyzeFixtures, W106UnbatchedChannelOpInHotLoop)
+{
+    ExpectDetected("w106_hot_unbatched.cc", "W106");
+}
+
+/** Occurrences of @p needle in @p haystack (for finding counts). */
+std::size_t
+Count(const std::string& haystack, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = haystack.find(needle); at != std::string::npos;
+         at = haystack.find(needle, at + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(AnalyzeFixtures, RegionScopedHotOnlyFlagsInsideRegion)
+{
+    // Three identical allocations; only the one between `wave-hot:
+    // begin` and `wave-hot: end` may be reported.
+    const RunResult r = AnalyzeFixture("hot_region.cc");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_EQ(Count(r.output, "W101"), 1u) << r.output;
+}
+
+TEST(AnalyzeFixtures, JustifiedAllowSilencesHotRule)
+{
+    const RunResult r = AnalyzeFixture("hot_allow.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 suppressed"), std::string::npos)
+        << r.output;
+}
+
 TEST(AnalyzeFixtures, InlineSuppressionSilencesFinding)
 {
     const RunResult r = AnalyzeFixture("suppressed.cc");
@@ -146,7 +206,8 @@ TEST(AnalyzeTree, ListRulesCoversFullCatalog)
     const RunResult r = Exec(kBin + " --list-rules");
     EXPECT_EQ(r.exit_code, 0) << r.output;
     for (const char* rule : {"W001", "W002", "W003", "W004", "W005",
-                             "W006", "W007", "W008"}) {
+                             "W006", "W007", "W008", "W101", "W102",
+                             "W103", "W104", "W105", "W106"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << ":\n"
             << r.output;

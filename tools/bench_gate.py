@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a wave-bench-v1 report against a baseline.
+
+Usage:
+    bench_gate.py <fresh.json> <baseline.json> [--max-regression 0.25]
+
+Two classes of metric, told apart by name:
+
+* Absolute-budget metrics (``allocs_per_event``): fail if the fresh
+  value exceeds the budget, regardless of runner speed. These encode
+  correctness-like properties (the W101 "allocation-free steady state"
+  claim) that a fast runner cannot hide.
+* Throughput metrics (``*_per_sec``): higher is better; fail when the
+  fresh value drops more than --max-regression below baseline. The
+  default 25% is deliberately generous — CI runners vary — while still
+  catching an accidental O(n) in the event loop.
+
+Everything else (latency samples, ratios, wall_ns_per_sim_sec) is
+reported but not gated: those either vary too much across runners or
+are gated elsewhere (figure-shape assertions live in the test suite).
+
+Exit codes: 0 pass, 1 gate failure, 2 usage/schema error.
+"""
+
+import json
+import sys
+
+# allocs_per_event must stay ~zero; tolerate counter noise from the
+# harness itself (one stray allocation in a million events).
+ALLOC_BUDGET = 0.001
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "wave-bench-v1":
+        print(f"bench_gate: {path}: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return {m["name"]: float(m["value"]) for m in doc.get("metrics", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_regression = 0.25
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--max-regression":
+            max_regression = float(next(it, "0.25"))
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    fresh, baseline = load(args[0]), load(args[1])
+    failures = []
+
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh report "
+                            f"(metric names are stable identifiers)")
+            continue
+        now = fresh[name]
+        if name == "allocs_per_event":
+            verdict = "FAIL" if now > ALLOC_BUDGET else "ok"
+            print(f"  {verdict:4} {name}: {now:g} "
+                  f"(budget {ALLOC_BUDGET:g}, absolute)")
+            if now > ALLOC_BUDGET:
+                failures.append(
+                    f"{name}: {now:g} exceeds the {ALLOC_BUDGET:g} "
+                    f"budget — a per-event heap allocation is back on "
+                    f"the hot path (see docs/static-analysis.md W101)")
+        elif name.endswith("_per_sec"):
+            drop = 1.0 - now / base if base > 0 else 0.0
+            verdict = "FAIL" if drop > max_regression else "ok"
+            print(f"  {verdict:4} {name}: {now:.4g} vs baseline "
+                  f"{base:.4g} ({-drop:+.1%})")
+            if drop > max_regression:
+                failures.append(
+                    f"{name}: {now:.4g} is {drop:.1%} below baseline "
+                    f"{base:.4g} (limit {max_regression:.0%})")
+        else:
+            print(f"  info {name}: {now:.4g} vs baseline {base:.4g}")
+
+    if failures:
+        print("bench_gate: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,6 +28,35 @@
  *   W008 time-narrowing        double<->integer time cast outside the
  *                              sanctioned bridges (sim/time.h, cycles.h)
  *
+ * A second annotation marks the per-event hot set — the code whose
+ * cost is multiplied by every simulated event, and which the Wave
+ * paper's wimpy-core budget argument says must stay allocation- and
+ * syscall-free:
+ *
+ *     // wave-hot              whole file is hot
+ *     // wave-hot: begin       start of a hot region
+ *     // wave-hot: end         end of a hot region
+ *
+ * The W100-series performance rules fire only on hot lines:
+ *
+ *   W101 hot-alloc             heap allocation on a hot path: `new`,
+ *                              make_unique/make_shared, push_back or
+ *                              emplace_back without an earlier reserve
+ *                              in the same hot region, std::string
+ *                              construction, std::function, or a
+ *                              sized Bytes/std::vector local
+ *   W102 hot-throw             throw/try/catch inside a hot region
+ *   W103 hot-lock              std::mutex/lock_guard/atomic (the sim
+ *                              core is single-threaded by design)
+ *   W104 hot-by-value          heavy type (std::string, std::vector,
+ *                              Bytes, config/stats structs) passed by
+ *                              value across a hot signature
+ *   W105 hot-io                printf-family or iostream I/O on a
+ *                              hot path
+ *   W106 hot-unbatched         per-element Channel Push/Receive or
+ *                              TryReceive inside a hot loop that
+ *                              could use the bulk batch API
+ *
  * Domain include matrix (row may include column):
  *
  *              host   nic   pcie  neutral
@@ -188,6 +217,12 @@ struct SourceFile {
     std::vector<SplitLine> lines;
     Domain domain = Domain::kUnknown;
     int domain_line = 0;
+    /**
+     * Per-line hot-region id, parallel to `lines`: 0 = not hot, >0 =
+     * id of the `// wave-hot` region the line belongs to. A bare
+     * file-scope `// wave-hot` puts every line in one region.
+     */
+    std::vector<int> hot;
 };
 
 std::optional<SourceFile>
@@ -201,18 +236,47 @@ LoadFile(const fs::path& fullpath, const std::string& report_path)
     LineSplitter splitter;
     static const std::regex kDomainRe(
         R"(wave-domain:\s*([a-z]+))");
+    // Anchored to the whole comment: prose *mentioning* wave-hot (docs,
+    // fixture headers) must not mark a file hot; only a standalone
+    // annotation line does.
+    static const std::regex kHotRe(
+        R"(^\s*wave-hot(:\s*(begin|end))?\s*$)");
+    bool file_hot = false;
+    int hot_depth = 0;
+    int next_region = 0;
+    int open_region = 0;
     while (std::getline(in, line)) {
         f.raw.push_back(line);
         f.lines.push_back(splitter.Split(line));
+        const std::string& comment = f.lines.back().comment;
         if (f.domain == Domain::kUnknown) {
             std::smatch m;
-            const std::string& comment = f.lines.back().comment;
             if (std::regex_search(comment, m, kDomainRe)) {
                 if (auto d = ParseDomain(m[1].str())) {
                     f.domain = *d;
                     f.domain_line = static_cast<int>(f.raw.size());
                 }
             }
+        }
+        std::smatch hm;
+        if (std::regex_search(comment, hm, kHotRe)) {
+            const std::string kind = hm[2].str();
+            if (kind == "begin") {
+                if (hot_depth == 0) open_region = ++next_region;
+                ++hot_depth;
+            } else if (kind == "end") {
+                if (hot_depth > 0) --hot_depth;
+            } else {
+                file_hot = true;
+            }
+        }
+        // The `begin` line is hot; the `end` line is not.
+        f.hot.push_back(hot_depth > 0 ? open_region : 0);
+    }
+    if (file_hot) {
+        const int file_region = ++next_region;
+        for (int& h : f.hot) {
+            if (h == 0) h = file_region;
         }
     }
     return f;
@@ -226,6 +290,18 @@ ParenBalance(const std::string& s)
     for (char c : s) {
         if (c == '(') ++n;
         if (c == ')') --n;
+    }
+    return n;
+}
+
+/** Net '{' minus '}' on the code channel of a string. */
+int
+BraceBalance(const std::string& s)
+{
+    int n = 0;
+    for (char c : s) {
+        if (c == '{') ++n;
+        if (c == '}') --n;
     }
     return n;
 }
@@ -272,6 +348,19 @@ constexpr Rule kRules[] = {
      "no wall clock, std::rand, or unseeded RNG in model code"},
     {"W008", "time-narrowing",
      "double<->integer time conversion only through sim/time.h"},
+    {"W101", "hot-alloc",
+     "no heap allocation on wave-hot paths (new, make_unique/shared, "
+     "unreserved push_back, std::string, std::function)"},
+    {"W102", "hot-throw",
+     "no throw/try/catch inside wave-hot regions"},
+    {"W103", "hot-lock",
+     "no mutexes or atomics in the single-threaded sim core hot set"},
+    {"W104", "hot-by-value",
+     "no pass-by-value of heavy types across wave-hot signatures"},
+    {"W105", "hot-io",
+     "no printf-family or iostream I/O on wave-hot paths"},
+    {"W106", "hot-unbatched",
+     "no per-element Channel ops inside wave-hot loops (bulk API)"},
 };
 
 /**
@@ -368,6 +457,7 @@ class Analyzer {
         CheckWallClock(f);
         if (!time_bridge) CheckTimeNarrowing(f);
         CheckEndpointCoverage(f);
+        CheckHotPaths(f);
     }
 
     /** Domain of an include target, loading and caching the file. */
@@ -608,6 +698,157 @@ class Analyzer {
                         "DurationNs::FromDouble()/TimeNs::FromDouble() "
                         "(sim/time.h is the only sanctioned bridge)");
                 }
+            }
+        }
+    }
+
+    /** Does any earlier line of hot region @p region pre-reserve? */
+    static bool
+    RegionReserves(const SourceFile& f, int region, std::size_t upto)
+    {
+        static const std::regex kReserveRe(
+            R"((\.|->)\s*([Rr]eserve|resize)\s*\()");
+        for (std::size_t j = 0; j < upto; ++j) {
+            if (f.hot[j] != region) continue;
+            if (std::regex_search(f.lines[j].code, kReserveRe)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * W101-W106: the per-event performance rules. Text-level like the
+     * rest of the tool; each pattern names the construct so a reader
+     * can judge the finding without opening the file.
+     */
+    void
+    CheckHotPaths(const SourceFile& f)
+    {
+        static const std::regex kNewRe(R"(\bnew\s+[A-Za-z_:])");
+        static const std::regex kMakeRe(
+            R"(\bstd::make_(unique|shared)\s*<)");
+        static const std::regex kGrowRe(
+            R"((\.|->)\s*(push_back|emplace_back)\s*\()");
+        static const std::regex kStringRe(
+            R"(\bstd::string\s+[A-Za-z_]\w*\s*[;({=])"
+            R"(|\bstd::string\s*[({])"
+            R"(|\bstd::(to_string|ostringstream|stringstream)\b)");
+        static const std::regex kFunctionRe(R"(\bstd::function\s*<)");
+        // The identifier must be snake_case: sized-buffer *locals* are
+        // lowercase in this tree, while PascalCase names after a vector
+        // type are function declarations returning one (caller-owned by
+        // contract, not a per-event allocation at this line).
+        static const std::regex kSizedBufRe(
+            R"(\b(Bytes|std::vector\s*<[^;=(){}]*>)\s+[a-z_]\w*\s*\()");
+        static const std::regex kThrowRe(R"(\b(throw|try|catch)\b)");
+        static const std::regex kLockRe(
+            R"(\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex)"
+            R"(|lock_guard|scoped_lock|unique_lock|condition_variable)"
+            R"(|atomic)\b|\bmemory_order_seq_cst\b)");
+        static const std::regex kHeavyParamRe(
+            R"(\b(std::string|std::vector\s*<[^;=(){}]*>)"
+            R"(|std::deque\s*<[^;=(){}]*>|std::map\s*<[^;=(){}]*>)"
+            R"(|Bytes|[A-Za-z_]*Config|[A-Za-z_]*Stats))"
+            R"(\s+[A-Za-z_]\w*\s*[,)])");
+        static const std::regex kIoRe(
+            R"(\b(printf|fprintf|sprintf|snprintf|puts|fputs|putchar)"
+            R"(|fwrite|fflush)\s*\()"
+            R"(|\bstd::(cout|cerr|clog|ostream|ofstream|ifstream)"
+            R"(|fstream|getline)\b)");
+        static const std::regex kLoopRe(R"(\b(for|while)\s*\()");
+        static const std::regex kChanOpRe(
+            R"((\.|->)\s*(Push|Receive|TryReceive)\s*\()");
+
+        int depth = 0;              // brace depth across the file
+        std::vector<int> loops;     // brace depth at each open hot loop
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            const int line_no = static_cast<int>(i + 1);
+            const bool hot = f.hot[i] > 0;
+
+            if (hot && std::regex_search(code, kLoopRe)) {
+                loops.push_back(depth);
+            }
+
+            if (hot) {
+                std::smatch m;
+                if (std::regex_search(code, m, kNewRe)) {
+                    Add(f.path, line_no, "W101",
+                        "`new` on a hot path; use a pool or inline "
+                        "storage (per-event allocation breaks the "
+                        "wimpy-core budget)");
+                }
+                if (std::regex_search(code, m, kMakeRe)) {
+                    Add(f.path, line_no, "W101",
+                        "make_" + m[1].str() +
+                        " on a hot path; allocate at setup time or "
+                        "pool the object");
+                }
+                if (std::regex_search(code, m, kGrowRe) &&
+                    !RegionReserves(f, f.hot[i], i)) {
+                    Add(f.path, line_no, "W101",
+                        m[2].str() +
+                        " without an earlier reserve() in the same "
+                        "hot region (amortized reallocation is still "
+                        "a per-event allocation)");
+                }
+                if (std::regex_search(code, m, kStringRe)) {
+                    Add(f.path, line_no, "W101",
+                        "std::string construction on a hot path "
+                        "(string building belongs in cold "
+                        "reporting code)");
+                }
+                if (std::regex_search(code, m, kFunctionRe)) {
+                    Add(f.path, line_no, "W101",
+                        "std::function on a hot path; its capture "
+                        "heap-allocates (use sim::InlineFn or a "
+                        "template parameter)");
+                }
+                if (std::regex_search(code, m, kSizedBufRe)) {
+                    Add(f.path, line_no, "W101",
+                        "sized " + m[1].str() +
+                        " local on a hot path; reuse a pooled "
+                        "scratch buffer instead");
+                }
+                if (std::regex_search(code, m, kThrowRe)) {
+                    Add(f.path, line_no, "W102",
+                        "`" + m[1].str() +
+                        "` inside a hot region (exception machinery "
+                        "is for cold recovery paths only)");
+                }
+                if (std::regex_search(code, m, kLockRe)) {
+                    Add(f.path, line_no, "W103",
+                        "`" + m[0].str() +
+                        "` on a hot path: the sim core is "
+                        "single-threaded by design and needs no "
+                        "synchronization");
+                }
+                if (std::regex_search(code, m, kHeavyParamRe)) {
+                    Add(f.path, line_no, "W104",
+                        "heavy type `" + m[1].str() +
+                        "` passed by value across a hot signature; "
+                        "take const& or a span");
+                }
+                if (std::regex_search(code, m, kIoRe)) {
+                    Add(f.path, line_no, "W105",
+                        "I/O call `" + m[0].str() +
+                        "` on a hot path (format and print from "
+                        "cold reporting code)");
+                }
+                if (!loops.empty() &&
+                    std::regex_search(code, m, kChanOpRe)) {
+                    Add(f.path, line_no, "W106",
+                        "per-element Channel " + m[2].str() +
+                        "() inside a hot loop; use "
+                        "PushBatch()/TryReceiveBatch() to pay the "
+                        "notify/schedule cost once");
+                }
+            }
+
+            depth += BraceBalance(code);
+            while (!loops.empty() && depth <= loops.back()) {
+                loops.pop_back();
             }
         }
     }
