@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(DMA-batched ring crossing the seam; producer and consumer live on different shards and rendezvous through the modeled DMA engine)
 // wave-hot
 #include "channel/dma_queue.h"
 
@@ -12,6 +13,7 @@ namespace wave::channel {
 namespace {
 
 /** Per-access cost of local ring memory (0 => free host DRAM). */
+// wave-lifetime(caller-awaits)
 sim::Task<>
 LocalAccess(sim::Simulator& sim, sim::DurationNs per_word_ns, std::size_t n)
 {
@@ -38,6 +40,7 @@ DmaQueue::DmaQueue(sim::Simulator& sim, pcie::DmaEngine& dma,
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 DmaQueue::ShipRange(std::uint64_t from, std::uint64_t to, bool sync)
 {
@@ -64,6 +67,7 @@ DmaQueue::ShipRange(std::uint64_t from, std::uint64_t to, bool sync)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 DmaQueue::Send(const std::vector<Bytes>& messages, bool sync)
 {
@@ -102,6 +106,7 @@ DmaQueue::Send(const std::vector<Bytes>& messages, bool sync)
     co_return sent;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<bool>
 DmaQueue::PollInto(Bytes& out)
 {
@@ -128,6 +133,7 @@ DmaQueue::PollInto(Bytes& out)
     co_return true;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<Bytes>>
 DmaQueue::Poll()
 {
@@ -140,6 +146,7 @@ DmaQueue::Poll()
     co_return std::move(payload);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<Bytes>>
 DmaQueue::PollBatch(std::size_t max)
 {
@@ -153,6 +160,7 @@ DmaQueue::PollBatch(std::size_t max)
     co_return out;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 DmaQueue::MaybeSyncCounter()
 {

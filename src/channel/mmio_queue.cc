@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(host/nic ring endpoints over one BAR window — the sanctioned cross-domain channel; a parallel executor must treat ring head/tail state as a synchronization point between the two shards)
 // wave-hot
 #include "channel/mmio_queue.h"
 
@@ -38,6 +39,7 @@ HostProducer::HostProducer(MmioQueue& queue, pcie::PteType write_type,
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostProducer::RefreshConsumed()
 {
@@ -59,6 +61,7 @@ HostProducer::RefreshConsumed()
     });
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 HostProducer::Send(const std::vector<Bytes>& messages)
 {
@@ -115,6 +118,7 @@ NicConsumer::NicConsumer(MmioQueue& queue, pcie::PteType local_type)
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 NicConsumer::MaybeSyncCounter()
 {
@@ -131,6 +135,7 @@ NicConsumer::MaybeSyncCounter()
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<bool>
 NicConsumer::PollInto(Bytes& out)
 {
@@ -169,6 +174,7 @@ NicConsumer::PollInto(Bytes& out)
     co_return true;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<Bytes>>
 NicConsumer::Poll()
 {
@@ -181,6 +187,7 @@ NicConsumer::Poll()
     co_return std::move(payload);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<Bytes>>
 NicConsumer::PollBatch(std::size_t max)
 {
@@ -201,6 +208,7 @@ NicProducer::NicProducer(MmioQueue& queue, pcie::PteType local_type)
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<bool>
 NicProducer::Full()
 {
@@ -225,6 +233,7 @@ NicProducer::Full()
     co_return head_ - cached_consumed_ >= capacity;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<bool>
 NicProducer::Send(const Bytes& message)
 {
@@ -253,6 +262,7 @@ NicProducer::Send(const Bytes& message)
     co_return true;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 NicProducer::SendBatch(const std::vector<Bytes>& messages)
 {
@@ -274,6 +284,7 @@ HostConsumer::HostConsumer(MmioQueue& queue, pcie::PteType read_type,
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostConsumer::MaybeSyncCounter()
 {
@@ -290,6 +301,7 @@ HostConsumer::MaybeSyncCounter()
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<bool>
 HostConsumer::PollInto(Bytes& out, bool flush_first)
 {
@@ -332,6 +344,7 @@ HostConsumer::PollInto(Bytes& out, bool flush_first)
     co_return true;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<Bytes>>
 HostConsumer::Poll(bool flush_first)
 {
@@ -344,6 +357,7 @@ HostConsumer::Poll(bool flush_first)
     co_return std::move(slot);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostConsumer::PrefetchNext()
 {
@@ -354,6 +368,7 @@ HostConsumer::PrefetchNext()
                            RingLayout::kFlagSize);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostConsumer::FlushNext()
 {

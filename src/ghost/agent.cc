@@ -22,6 +22,7 @@ GhostAgent::GhostAgent(SchedTransport& transport,
     }
 }
 
+// wave-lifetime(spawn-safe: the agent and its AgentContext are owned by the spawner (enclave, supervisor, or experiment frame), which runs the simulator to completion before releasing them)
 sim::Task<>
 GhostAgent::Run(AgentContext& ctx)
 {
@@ -50,6 +51,7 @@ GhostAgent::Run(AgentContext& ctx)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 GhostAgent::HandleMessages(AgentContext& ctx)
 {
@@ -97,6 +99,7 @@ GhostAgent::HandleMessages(AgentContext& ctx)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 GhostAgent::HandleOutcomes(AgentContext& ctx)
 {
@@ -161,6 +164,7 @@ GhostAgent::HandleOutcomes(AgentContext& ctx)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 GhostAgent::IssueDecisions(AgentContext& ctx)
 {
@@ -185,6 +189,7 @@ GhostAgent::IssueDecisions(AgentContext& ctx)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 GhostAgent::IssuePrestages(AgentContext& ctx)
 {
@@ -205,6 +210,7 @@ GhostAgent::IssuePrestages(AgentContext& ctx)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 GhostAgent::IssuePreemptions(AgentContext& ctx)
 {

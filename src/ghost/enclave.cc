@@ -87,6 +87,7 @@ Enclave::RestartAgent()
     }
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the enclave owns agent, supervisor, and watchdog wiring and outlives the simulator run)
 sim::Task<>
 Enclave::FeedWatchdogLoop()
 {

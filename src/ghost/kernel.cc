@@ -107,6 +107,7 @@ KernelSched::Start(const std::vector<int>& cores)
     }
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the KernelSched is owned by the enclave/experiment for the whole simulator run, and the message fields are copied into the frame)
 sim::Task<>
 KernelSched::SendEvent(MsgType type, Tid tid, int core)
 {
@@ -120,6 +121,7 @@ KernelSched::SendEvent(MsgType type, Tid tid, int core)
     co_await transport_.HostSendMessage(message);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<ThreadRecord*>
 KernelSched::CommitDecision(int core, const PendingDecision& pd)
 {
@@ -193,6 +195,7 @@ KernelSched::CommitDecision(int core, const PendingDecision& pd)
     co_return rec;
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the KernelSched outlives the simulator run and Stop() parks the loop before teardown)
 sim::Task<>
 KernelSched::TickLoop(int core)
 {
@@ -203,6 +206,7 @@ KernelSched::TickLoop(int core)
     }
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the KernelSched outlives the simulator run and Stop() parks the loop before teardown)
 sim::Task<>
 KernelSched::CoreLoop(int core)
 {

@@ -35,6 +35,7 @@ AgentSupervisor::Supervise(AgentId id, std::shared_ptr<GhostAgent> agent,
     sim_.Spawn(FeedLoop());
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the supervisor is owned by the enclave, which outlives the simulator run)
 sim::Task<>
 AgentSupervisor::FeedLoop()
 {

@@ -1,4 +1,5 @@
 // wave-domain: host
+// wave-owns(host) — the shm transport's queues and the host halves of the wave transport live on the host shard; the NIC-side agent reaches them only through WaveRuntime's seam endpoints
 #include "ghost/transport.h"
 
 #include <cstring>
@@ -103,6 +104,7 @@ WaveSchedTransport::For(int core)
     return *it->second;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 WaveSchedTransport::HostSendMessage(const GhostMessage& message)
 {
@@ -128,6 +130,7 @@ WaveSchedTransport::HostSendMessage(const GhostMessage& message)
     WAVE_ASSERT(sent == 1, "ghOSt message queue overflow");
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<PendingDecision>>
 WaveSchedTransport::HostPollDecision(int core, bool flush_first)
 {
@@ -139,12 +142,14 @@ WaveSchedTransport::HostPollDecision(int core, bool flush_first)
     co_return out;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 WaveSchedTransport::HostPrefetchDecision(int core)
 {
     co_await For(core).host_txn->PrefetchTxns();
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 WaveSchedTransport::HostSendOutcome(int core, const api::TxnOutcome& outcome)
 {
@@ -165,6 +170,7 @@ WaveSchedTransport::InterruptReceiveCost() const
     return runtime_.PcieCfg().msix_receive_ns;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<GhostMessage>>
 WaveSchedTransport::AgentPollMessages(std::size_t max)
 {
@@ -184,18 +190,21 @@ WaveSchedTransport::AgentStageDecision(const GhostDecision& d)
         channel::ToBytes(d, GhostWire::kDecisionPayload));
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 WaveSchedTransport::AgentCommit(int core, bool kick)
 {
     co_return co_await For(core).nic_txn->TxnsCommit(kick);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<api::TxnOutcome>>
 WaveSchedTransport::AgentPollOutcomes(int core, std::size_t max)
 {
     co_return co_await For(core).nic_txn->PollTxnsOutcomes(max);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 WaveSchedTransport::AgentKick(int core)
 {
@@ -283,6 +292,7 @@ ShmSchedTransport::For(int core)
     return *it->second;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 ShmSchedTransport::HostSendMessage(const GhostMessage& message)
 {
@@ -292,6 +302,7 @@ ShmSchedTransport::HostSendMessage(const GhostMessage& message)
     WAVE_ASSERT(sent == 1, "ghOSt message queue overflow");
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<PendingDecision>>
 ShmSchedTransport::HostPollDecision(int core, bool /*flush_first*/)
 {
@@ -311,6 +322,7 @@ ShmSchedTransport::HostPollDecision(int core, bool /*flush_first*/)
     co_return out;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 ShmSchedTransport::HostPrefetchDecision(int /*core*/)
 {
@@ -319,6 +331,7 @@ ShmSchedTransport::HostPrefetchDecision(int /*core*/)
     co_return;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 ShmSchedTransport::HostSendOutcome(int core, const api::TxnOutcome& outcome)
 {
@@ -351,6 +364,7 @@ ShmSchedTransport::InterruptReceiveCost() const
     return IpiCosts().msix_receive_ns;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<GhostMessage>>
 ShmSchedTransport::AgentPollMessages(std::size_t max)
 {
@@ -382,6 +396,7 @@ ShmSchedTransport::AgentStageDecision(const GhostDecision& d)
     return id;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 ShmSchedTransport::AgentCommit(int core, bool kick)
 {
@@ -406,6 +421,7 @@ ShmSchedTransport::AgentCommit(int core, bool kick)
     co_return sent;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<api::TxnOutcome>>
 ShmSchedTransport::AgentPollOutcomes(int core, std::size_t max)
 {
@@ -432,6 +448,7 @@ ShmSchedTransport::AgentPollOutcomes(int core, std::size_t max)
     co_return out;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 ShmSchedTransport::AgentKick(int core)
 {

@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(the DMA engine is the seam device both shards program; transfer state is serialized by the simulator event loop today and becomes a cross-shard rendezvous under a parallel executor)
 // wave-hot
 #include "pcie/dma.h"
 
@@ -8,6 +9,7 @@
 
 namespace wave::pcie {
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::shared_ptr<DmaCompletion>>
 DmaEngine::TransferAsync(DmaInitiator initiator, MemoryRegion& src,
                          std::size_t src_offset, MemoryRegion& dst,
@@ -46,6 +48,7 @@ DmaEngine::AcquireCompletion()
     return fresh;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 DmaEngine::Transfer(DmaInitiator initiator, MemoryRegion& src,
                     std::size_t src_offset, MemoryRegion& dst,
@@ -56,6 +59,7 @@ DmaEngine::Transfer(DmaInitiator initiator, MemoryRegion& src,
     co_await completion->Wait();
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the DmaEngine is a PcieLink member alive for the whole simulator run, and the transfer descriptor is copied into the frame)
 sim::Task<>
 DmaEngine::RunTransfer(std::shared_ptr<DmaCompletion> completion,
                        MemoryRegion& src, std::size_t src_offset,

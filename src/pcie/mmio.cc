@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(MMIO mappings are the host shard's window into NIC DRAM and vice versa; cache/WC shadow state is touched from both sides by design)
 // wave-hot
 #include "pcie/mmio.h"
 
@@ -64,6 +65,7 @@ HostMmioMapping::HostMmioMapping(NicDram& dram, PteType type)
     posted_pool_.reserve(16);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::Read(std::size_t offset, void* dst, std::size_t n,
                       bool tolerate_stale)
@@ -89,6 +91,7 @@ HostMmioMapping::ExtraPcieDelay() const
     return injector != nullptr ? injector->MmioExtraDelay() : 0;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
 {
@@ -107,6 +110,7 @@ HostMmioMapping::ReadUncached(std::size_t offset, void* dst, std::size_t n)
     });
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::ReadCachedWt(std::size_t offset, void* dst, std::size_t n,
                               bool tolerate_stale)
@@ -240,6 +244,7 @@ HostMmioMapping::PostStores(std::size_t offset, const void* src,
         });
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
 {
@@ -312,6 +317,7 @@ HostMmioMapping::Write(std::size_t offset, const void* src, std::size_t n)
     PostStores(offset, src, n);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::Sfence()
 {
@@ -385,6 +391,7 @@ HostMmioMapping::Prefetch(std::size_t offset, std::size_t n)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostMmioMapping::Clflush(std::size_t offset, std::size_t n)
 {
@@ -459,6 +466,7 @@ NicLocalMapping::AccessCost(std::size_t n) const
     return per_word * words;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 NicLocalMapping::Read(std::size_t offset, void* dst, std::size_t n,
                       bool tolerate_stale)
@@ -474,6 +482,7 @@ NicLocalMapping::Read(std::size_t offset, void* dst, std::size_t n,
     });
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 NicLocalMapping::Write(std::size_t offset, const void* src, std::size_t n)
 {

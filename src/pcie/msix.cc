@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(interrupt vectors are raised by the NIC shard and consumed by the host shard; the pending/masked state is the cross-shard handshake itself)
 #include "pcie/msix.h"
 
 #include "check/coherence.h"
@@ -8,6 +9,7 @@
 
 namespace wave::pcie {
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 MsiXVector::Send(SendPath path)
 {
@@ -57,6 +59,7 @@ MsiXVector::Send(SendPath path)
     co_await sim_.Delay(send_cost);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 MsiXVector::WaitAndReceive()
 {

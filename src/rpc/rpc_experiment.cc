@@ -53,6 +53,70 @@ CostsFor(RpcScenario scenario, const pcie::PcieConfig& pcie)
     }
 }
 
+/**
+ * State for the steering stage co-located with the scheduling agent.
+ * Lives in RunRpcExperiment's frame, which runs the simulator to
+ * completion before returning, so the stage coroutine below may
+ * borrow it across suspensions.
+ */
+struct SteeringStage {
+    std::shared_ptr<std::deque<Request>> queue;
+    ScenarioCosts costs;
+    bool multi_queue;
+    workload::KvService* service;
+    std::uint64_t steered;
+};
+
+// wave-lifetime(caller-awaits)
+sim::Task<>
+RunSteeringStage(SteeringStage& stage, AgentContext& ctx)
+{
+    // Steer up to a small batch of processed RPCs per iteration.
+    for (int i = 0; i < 8 && !stage.queue->empty(); ++i) {
+        Request request = std::move(stage.queue->front());
+        stage.queue->pop_front();
+        sim::DurationNs cost = stage.costs.steer_ns;
+        if (stage.multi_queue) cost += stage.costs.slo_read_ns;
+        co_await ctx.Cpu().Work(cost);
+        ++stage.steered;
+        // Worker-side payload fetch is part of its service time.
+        request.service_ns += stage.costs.worker_fetch_ns;
+        stage.service->Submit(std::move(request));
+    }
+}
+
+// wave-lifetime(spawn-safe: sim, stack, and cfg are owned by the experiment frame, which runs the simulator to completion before returning; the queue handle is copied into the frame)
+sim::Task<>
+GenerateRpcLoad(sim::Simulator& sim, RpcStack& stack,
+                std::shared_ptr<std::deque<Request>> queue,
+                const RpcExperimentConfig& cfg)
+{
+    sim::Rng rng(cfg.seed);
+    const double mean_gap_ns = 1e9 / cfg.offered_rps;
+    std::uint64_t next_id = 1;
+    const sim::TimeNs end{cfg.warmup_ns + cfg.measure_ns};
+    while (sim.Now() < end) {
+        co_await sim.Delay(sim::DurationNs::FromDouble(
+            rng.NextExponential(mean_gap_ns)));
+        if (sim.Now() >= end) break;
+        Request request;
+        request.id = next_id++;
+        request.arrival = sim.Now();
+        if (rng.NextBernoulli(cfg.get_fraction)) {
+            request.kind = RequestKind::kGet;
+            request.slo_class = 0;
+            request.service_ns = cfg.get_service_ns;
+        } else {
+            request.kind = RequestKind::kRange;
+            request.slo_class = 1;
+            request.service_ns = cfg.range_service_ns;
+        }
+        stack.ProcessIncoming(std::move(request), [queue](Request r) {
+            queue->push_back(std::move(r));
+        });
+    }
+}
+
 }  // namespace
 
 RpcExperimentResult
@@ -117,7 +181,8 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     // Requests that finished protocol processing wait here for the
     // agent's steering pass.
     auto steering_queue = std::make_shared<std::deque<Request>>();
-    std::uint64_t steered = 0;
+    SteeringStage steering{steering_queue, costs, cfg.multi_queue,
+                           /*service=*/nullptr, /*steered=*/0};
 
     // KV service with per-request completion flowing back through the
     // RPC stack's response path.
@@ -148,20 +213,12 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     agent_cfg.cores = worker_cores;
     agent_cfg.prestage = true;
     agent_cfg.prestage_min_depth = 4;
-    agent_cfg.aux_stage =
-        [&, costs](AgentContext& ctx) -> sim::Task<> {
-        // Steer up to a small batch of processed RPCs per iteration.
-        for (int i = 0; i < 8 && !steering_queue->empty(); ++i) {
-            Request request = std::move(steering_queue->front());
-            steering_queue->pop_front();
-            sim::DurationNs cost = costs.steer_ns;
-            if (cfg.multi_queue) cost += costs.slo_read_ns;
-            co_await ctx.Cpu().Work(cost);
-            ++steered;
-            // Worker-side payload fetch is part of its service time.
-            request.service_ns += costs.worker_fetch_ns;
-            service.Submit(std::move(request));
-        }
+    // The adapter lambda is not itself a coroutine: it reads its
+    // capture once, at call time, to construct the named coroutine's
+    // task — the pattern W202 leaves open.
+    steering.service = &service;
+    agent_cfg.aux_stage = [&steering](AgentContext& ctx) {
+        return RunSteeringStage(steering, ctx);
     };
     auto agent = std::make_shared<ghost::GhostAgent>(*transport, policy,
                                                      agent_cfg);
@@ -178,34 +235,7 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     kernel.Start(worker_cores);
 
     // --- load generation: arrivals land at the RPC stack ---
-    sim.Spawn([](sim::Simulator& s, RpcStack& st,
-                 std::shared_ptr<std::deque<Request>> sq,
-                 const RpcExperimentConfig& c) -> sim::Task<> {
-        sim::Rng rng(c.seed);
-        const double mean_gap_ns = 1e9 / c.offered_rps;
-        std::uint64_t next_id = 1;
-        const sim::TimeNs end{c.warmup_ns + c.measure_ns};
-        while (s.Now() < end) {
-            co_await s.Delay(sim::DurationNs::FromDouble(
-                rng.NextExponential(mean_gap_ns)));
-            if (s.Now() >= end) break;
-            Request request;
-            request.id = next_id++;
-            request.arrival = s.Now();
-            if (rng.NextBernoulli(c.get_fraction)) {
-                request.kind = RequestKind::kGet;
-                request.slo_class = 0;
-                request.service_ns = c.get_service_ns;
-            } else {
-                request.kind = RequestKind::kRange;
-                request.slo_class = 1;
-                request.service_ns = c.range_service_ns;
-            }
-            st.ProcessIncoming(std::move(request), [sq](Request r) {
-                sq->push_back(std::move(r));
-            });
-        }
-    }(sim, stack, steering_queue, cfg));
+    sim.Spawn(GenerateRpcLoad(sim, stack, steering_queue, cfg));
 
     // Run past the window so in-flight responses can drain a little.
     sim.RunUntil(window_end + 2'000'000);
@@ -218,7 +248,7 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     result.get_p99 = latency[0].Percentile(0.99);
     result.range_p99 = latency[1].Percentile(0.99);
     result.preemptions = kernel.Stats().preemptions;
-    result.steered = steered;
+    result.steered = steering.steered;
     return result;
 }
 

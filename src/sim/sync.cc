@@ -27,6 +27,7 @@ RunAndCount(std::shared_ptr<JoinState> state, Task<> task)
 
 }  // namespace
 
+// wave-lifetime(caller-awaits)
 Task<>
 AwaitAll(Simulator& sim, std::vector<Task<>>&& tasks)
 {

@@ -34,6 +34,7 @@ SolAgent::SolAgent(sim::Simulator& sim, memmgr::AddressSpace& space,
     due_.resize(policy_->NumBatches());
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 SolAgent::ScanShard(machine::Cpu* cpu, std::size_t first, std::size_t last,
                     sim::TimeNs now, std::size_t* scanned)
@@ -51,6 +52,7 @@ SolAgent::ScanShard(machine::Cpu* cpu, std::size_t first, std::size_t last,
     co_await cpu->Work(policy_->ScanComputePerBatchNs() * shard_scans);
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<sim::DurationNs>
 SolAgent::RunIteration()
 {
@@ -134,6 +136,7 @@ SolAgent::RunIteration()
     co_return duration;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 SolAgent::RunUntil(sim::TimeNs until)
 {

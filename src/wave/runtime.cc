@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(the runtime owns both seam endpoints and registers actors on both shards; its queues are exactly the state a parallel executor must synchronize on)
 #include "wave/runtime.h"
 
 #include <algorithm>
@@ -167,6 +168,7 @@ WaveRuntime::StartWaveAgent(std::shared_ptr<Agent> agent, int nic_core)
     return id;
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the runtime owns the agent and endpoints and outlives the simulator run)
 sim::Task<>
 WaveRuntime::RunAgent(AgentId id)
 {

@@ -10,6 +10,7 @@
  * against the same software over Wave's PCIe queues (offloaded).
  */
 // wave-domain: pcie
+// wave-shared(host-memory message ring written by one shard and polled by the other; the Wave one-way host-to-NIC flow crosses here)
 // wave-hot
 #pragma once
 
@@ -50,6 +51,7 @@ class ShmQueue {
     }
 
     /** Enqueues a batch; returns how many fit. */
+    // wave-lifetime(caller-awaits)
     sim::Task<std::size_t>
     Send(const std::vector<std::vector<std::byte>>& messages)
     {

@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(transaction slots are written by the host endpoint and committed by the NIC endpoint; slot lifecycle is the cross-shard protocol the checkers watch)
 #include "wave/txn.h"
 
 #include "check/coherence.h"
@@ -53,6 +54,7 @@ NicTxnEndpoint::TxnCreate(api::Bytes payload)
     return id;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::size_t>
 NicTxnEndpoint::TxnsCommit(bool send_msix)
 {
@@ -111,6 +113,7 @@ NicTxnEndpoint::TxnsCommit(bool send_msix)
     co_return sent;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::vector<api::TxnOutcome>>
 NicTxnEndpoint::PollTxnsOutcomes(std::size_t max)
 {
@@ -143,6 +146,7 @@ HostTxnEndpoint::HostTxnEndpoint(channel::HostConsumer& decisions,
 {
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<std::optional<HostTxn>>
 HostTxnEndpoint::PollTxns(bool flush_first)
 {
@@ -161,18 +165,21 @@ HostTxnEndpoint::PollTxns(bool flush_first)
     co_return txn;
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostTxnEndpoint::PrefetchTxns()
 {
     co_await decisions_.PrefetchNext();
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostTxnEndpoint::FlushTxns()
 {
     co_await decisions_.FlushNext();
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostTxnEndpoint::SetTxnsOutcomes(const std::vector<api::TxnOutcome>& outs)
 {
@@ -201,6 +208,7 @@ HostTxnEndpoint::SetTxnsOutcomes(const std::vector<api::TxnOutcome>& outs)
                 "outcome queue overflow: agent is not draining outcomes");
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<>
 HostTxnEndpoint::WaitForKick()
 {

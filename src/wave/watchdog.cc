@@ -1,4 +1,5 @@
 // wave-domain: pcie
+// wave-shared(the lease is fed by the NIC-side agent and expired by host-side fallback logic; both shards read the deadline)
 #include "wave/watchdog.h"
 
 #include "check/hooks.h"
@@ -50,6 +51,7 @@ Watchdog::Disarm()
     armed_ = false;
 }
 
+// wave-lifetime(spawn-safe: only `this` is borrowed; the watchdog is owned by the runtime/enclave for the whole simulator run)
 sim::Task<>
 Watchdog::Monitor()
 {

@@ -21,6 +21,7 @@ namespace wave::workload {
 /** A vCPU that never blocks: consumes all CPU it is given. */
 class BusyLoopBody : public ghost::ThreadBody {
   public:
+    // wave-lifetime(caller-awaits)
     sim::Task<ghost::RunStop>
     Run(ghost::RunContext& ctx) override
     {
@@ -55,6 +56,7 @@ class BusyLoopBody : public ghost::ThreadBody {
 /** A vCPU that is idle: blocks immediately whenever scheduled. */
 class IdleVcpuBody : public ghost::ThreadBody {
   public:
+    // wave-lifetime(caller-awaits)
     sim::Task<ghost::RunStop>
     Run(ghost::RunContext&) override
     {

@@ -70,6 +70,7 @@ KvService::OnWorkerDone(int worker_index, const Request& request)
     }
 }
 
+// wave-lifetime(caller-awaits)
 sim::Task<ghost::RunStop>
 KvWorkerBody::Run(ghost::RunContext& ctx)
 {

@@ -3,6 +3,7 @@
 
 namespace wave::workload {
 
+// wave-lifetime(spawn-safe: sim, service, and config are owned by the experiment frame, which runs the simulator to completion before returning)
 sim::Task<>
 RunLoadGenerator(sim::Simulator& sim, KvService& service,
                  LoadGenConfig config)

@@ -59,6 +59,7 @@ class ServerPool {
     std::size_t QueueDepth() const { return jobs_.Size(); }
 
   private:
+    // wave-lifetime(spawn-safe: only `this` is borrowed; the pool is owned by the service, which outlives the simulator run)
     sim::Task<>
     WorkerLoop(machine::Cpu* cpu)
     {

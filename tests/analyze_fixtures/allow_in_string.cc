@@ -1,0 +1,12 @@
+// Fixture: the allow() incantation inside a string literal must NOT
+// suppress the violation on the next line.
+// wave-domain: neutral
+#include <random>
+
+namespace wave::fixture {
+
+inline const char* const kDoc =
+    "wave-analyze: allow(W007 quoted text, not a comment)";
+inline std::mt19937 g_rng;
+
+}  // namespace wave::fixture

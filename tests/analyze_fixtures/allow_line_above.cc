@@ -1,0 +1,15 @@
+// Fixture: the allow() comment sits on the line above the violation,
+// which must suppress it just like a same-line comment.
+// wave-domain: neutral
+#include <cstdlib>
+
+namespace wave::fixture {
+
+inline int
+Jitter()
+{
+    // wave-analyze: allow(W007 fixture exercising the line-above path)
+    return std::rand() % 7;
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,17 @@
+// Fixture: one allow() comment listing two rule ids suppresses both
+// findings on the line below.
+// wave-domain: neutral
+// wave-hot
+#include <cstdio>
+#include <string>
+
+namespace wave::fixture {
+
+inline void
+Report(int value)
+{
+    // wave-analyze: allow(W101 W105 fixture: cold shutdown report)
+    std::string label("v"); std::printf("%s=%d\n", label.c_str(), value);
+}
+
+}  // namespace wave::fixture

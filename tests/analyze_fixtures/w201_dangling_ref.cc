@@ -1,0 +1,20 @@
+// Fixture: reference-taking Task coroutine with no wave-lifetime
+// contract -> W201.
+// wave-domain: host
+
+namespace wave::fixture {
+
+struct Buffer {
+    int pending = 0;
+};
+
+sim::Task<>
+Pump(Buffer& buffer)
+{
+    while (buffer.pending > 0) {
+        co_await NextEvent();
+        --buffer.pending;
+    }
+}
+
+}  // namespace wave::fixture

@@ -1,0 +1,17 @@
+// Fixture: capturing-lambda coroutine -> W202. The closure dies at the
+// first suspension when the lambda is a temporary.
+// wave-domain: host
+
+namespace wave::fixture {
+
+inline void
+Arm(int& hits)
+{
+    auto body = [&hits]() -> sim::Task<> {
+        ++hits;
+        co_await NextEvent();
+    };
+    Use(body);
+}
+
+}  // namespace wave::fixture

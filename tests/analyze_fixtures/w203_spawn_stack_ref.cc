@@ -1,0 +1,17 @@
+// Fixture: Spawn() of an immediately-invoked lambda binding a
+// reference parameter to the spawner's stack -> W203.
+// wave-domain: host
+
+namespace wave::fixture {
+
+inline void
+Start(sim::Simulator& sim)
+{
+    int counter = 0;
+    sim.Spawn([](int& n) -> sim::Task<> {
+        ++n;
+        co_return;
+    }(counter));
+}
+
+}  // namespace wave::fixture

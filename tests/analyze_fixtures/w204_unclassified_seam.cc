@@ -1,0 +1,11 @@
+// Fixture: pcie-seam file with no wave-owns/wave-shared shard
+// classification -> W204.
+// wave-domain: pcie
+
+namespace wave::fixture {
+
+struct SeamState {
+    int doorbells = 0;
+};
+
+}  // namespace wave::fixture

@@ -1,0 +1,22 @@
+// Fixture: iteration over a pointer-keyed unordered container ->
+// W205. Keyed lookups would be fine; the range-for is not.
+// wave-domain: host
+#include <unordered_map>
+
+namespace wave::fixture {
+
+struct Registry {
+    std::unordered_map<const void*, int> by_addr;
+
+    int
+    Sum() const
+    {
+        int total = 0;
+        for (const auto& [addr, count] : by_addr) {
+            total += count;
+        }
+        return total;
+    }
+};
+
+}  // namespace wave::fixture

@@ -1,0 +1,14 @@
+// Fixture: co_await while a scoped guard local is live -> W206.
+// wave-domain: host
+
+namespace wave::fixture {
+
+sim::Task<>
+Drain()
+{
+    StatsGuard guard(1);
+    co_await NextEvent();
+    co_return;
+}
+
+}  // namespace wave::fixture

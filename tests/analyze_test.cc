@@ -4,9 +4,9 @@
  *
  * Two halves:
  *  - planted-violation fixtures under tests/analyze_fixtures/, one per
- *    rule W001..W008 and W101..W106, each asserted to trip exactly the
- *    rule it plants (plus suppression, region-scoping, and clean-file
- *    fixtures asserted silent);
+ *    rule W001..W008, W101..W106, and W201..W206, each asserted to
+ *    trip exactly the rule it plants (plus suppression, region-scoping,
+ *    JSON/stale-baseline, and clean-file fixtures);
  *  - a clean-tree run over the real src/ with the shipped baseline,
  *    asserted to report zero violations — the same invocation the
  *    `analyze` build target and CI run.
@@ -158,6 +158,50 @@ Count(const std::string& haystack, const std::string& needle)
     return n;
 }
 
+/** Planted fixture must trip its rule exactly once, nothing else. */
+void
+ExpectDetectedOnce(const std::string& fixture, const std::string& rule)
+{
+    const RunResult r = AnalyzeFixture(fixture);
+    EXPECT_EQ(r.exit_code, 1) << fixture << ":\n" << r.output;
+    EXPECT_EQ(Count(r.output, rule + ":"), 1u)
+        << fixture << " did not trip " << rule << " exactly once:\n"
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding"), std::string::npos)
+        << fixture << " tripped more than its planted rule:\n"
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, W201DanglingRefAcrossSuspension)
+{
+    ExpectDetectedOnce("w201_dangling_ref.cc", "W201");
+}
+
+TEST(AnalyzeFixtures, W202CapturingLambdaCoroutine)
+{
+    ExpectDetectedOnce("w202_lambda_coroutine.cc", "W202");
+}
+
+TEST(AnalyzeFixtures, W203SpawnBindsStackReference)
+{
+    ExpectDetectedOnce("w203_spawn_stack_ref.cc", "W203");
+}
+
+TEST(AnalyzeFixtures, W204UnclassifiedSeamFile)
+{
+    ExpectDetectedOnce("w204_unclassified_seam.cc", "W204");
+}
+
+TEST(AnalyzeFixtures, W205PointerKeyedUnorderedIteration)
+{
+    ExpectDetectedOnce("w205_unordered_ptr_iter.cc", "W205");
+}
+
+TEST(AnalyzeFixtures, W206AwaitUnderScopedGuard)
+{
+    ExpectDetectedOnce("w206_await_under_guard.cc", "W206");
+}
+
 TEST(AnalyzeFixtures, RegionScopedHotOnlyFlagsInsideRegion)
 {
     // Three identical allocations; only the one between `wave-hot:
@@ -180,6 +224,76 @@ TEST(AnalyzeFixtures, InlineSuppressionSilencesFinding)
     const RunResult r = AnalyzeFixture("suppressed.cc");
     EXPECT_EQ(r.exit_code, 0) << r.output;
     EXPECT_NE(r.output.find("1 suppressed"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, AllowOnLineAboveSuppresses)
+{
+    const RunResult r = AnalyzeFixture("allow_line_above.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("1 suppressed"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, OneAllowCommentMaySuppressMultipleRules)
+{
+    // One allow(W101 W105 ...) comment covers both findings on the
+    // line below it.
+    const RunResult r = AnalyzeFixture("allow_multi_rule.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("2 suppressed"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, AllowInsideStringLiteralDoesNotSuppress)
+{
+    // The incantation quoted in a string literal is data, not a
+    // suppression comment.
+    const RunResult r = AnalyzeFixture("allow_in_string.cc");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("W007"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("suppressed)"), std::string::npos)
+        << "nothing should have been inline-suppressed:\n"
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, StaleBaselineEntryFailsTheRun)
+{
+    // clean.cc has no findings, so the fixture baseline's entry for it
+    // matches nothing and must fail the run with a stale message.
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src " + kFixtures +
+            "/clean.cc --baseline " + kFixtures + "/stale_baseline.txt");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("stale baseline"), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, JsonFormatEmitsFindingsAndOwnership)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src --format=json " +
+            kFixtures + "/w201_dangling_ref.cc");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("\"schema\": \"wave-analyze-v1\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"rule\": \"W201\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"suppressed\": false"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"ownership\""), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, JsonFormatMarksSuppressedFindings)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src --format=json " +
+            kFixtures + "/suppressed.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("\"suppression\": \"inline\""),
+              std::string::npos)
         << r.output;
 }
 
@@ -207,7 +321,8 @@ TEST(AnalyzeTree, ListRulesCoversFullCatalog)
     EXPECT_EQ(r.exit_code, 0) << r.output;
     for (const char* rule : {"W001", "W002", "W003", "W004", "W005",
                              "W006", "W007", "W008", "W101", "W102",
-                             "W103", "W104", "W105", "W106"}) {
+                             "W103", "W104", "W105", "W106", "W201",
+                             "W202", "W203", "W204", "W205", "W206"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << ":\n"
             << r.output;

@@ -19,7 +19,10 @@ Everything else (latency samples, ratios, wall_ns_per_sim_sec) is
 reported but not gated: those either vary too much across runners or
 are gated elsewhere (figure-shape assertions live in the test suite).
 
-Exit codes: 0 pass, 1 gate failure, 2 usage/schema error.
+Exit codes: 0 pass, 1 gate failure, 2 usage/schema error, 3 missing
+input (a BENCH_*.json file that was never produced, or a baseline
+metric absent from the fresh report — rebuild the benches with the
+`bench_json` target before gating).
 """
 
 import json
@@ -34,6 +37,11 @@ def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        print(f"bench_gate: missing input {path} — run the bench_json "
+              f"build target to (re)generate BENCH_*.json reports",
+              file=sys.stderr)
+        sys.exit(3)
     except (OSError, ValueError) as e:
         print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
@@ -41,7 +49,19 @@ def load(path):
         print(f"bench_gate: {path}: unexpected schema "
               f"{doc.get('schema')!r}", file=sys.stderr)
         sys.exit(2)
-    return {m["name"]: float(m["value"]) for m in doc.get("metrics", [])}
+    metrics = {}
+    for m in doc.get("metrics", []):
+        if "name" not in m or "value" not in m:
+            print(f"bench_gate: {path}: malformed metric entry {m!r} "
+                  f"(need name and value)", file=sys.stderr)
+            sys.exit(2)
+        try:
+            metrics[m["name"]] = float(m["value"])
+        except (TypeError, ValueError):
+            print(f"bench_gate: {path}: non-numeric value in {m!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return metrics
 
 
 def main(argv):
@@ -57,12 +77,17 @@ def main(argv):
 
     fresh, baseline = load(args[0]), load(args[1])
     failures = []
+    missing = [n for n in sorted(baseline) if n not in fresh]
+    if missing:
+        print(f"bench_gate: baseline metrics missing from fresh "
+              f"report: {', '.join(missing)}", file=sys.stderr)
+        print(f"bench_gate: metric names are stable identifiers — "
+              f"rebuild the benches (bench_json target), or update "
+              f"{args[1]} if a metric was deliberately renamed",
+              file=sys.stderr)
+        return 3
 
     for name, base in sorted(baseline.items()):
-        if name not in fresh:
-            failures.append(f"{name}: missing from fresh report "
-                            f"(metric names are stable identifiers)")
-            continue
         now = fresh[name]
         if name == "allocs_per_event":
             verdict = "FAIL" if now > ALLOC_BUDGET else "ok"

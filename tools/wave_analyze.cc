@@ -57,6 +57,66 @@
  *                              TryReceive inside a hot loop that
  *                              could use the bulk batch API
  *
+ * The W200 series ("concurrency readiness") proves the two properties
+ * a sharded or conservatively-parallel event executor needs: coroutine
+ * frames never outlive the state they reference, and every piece of
+ * state reachable from actors in more than one clock domain/shard is
+ * explicitly classified. Two annotation families drive it:
+ *
+ *     // wave-lifetime(caller-awaits)
+ *     // wave-lifetime(spawn-safe: <why the referents outlive the frame>)
+ *
+ * on a coroutine's declaration or definition head states the frame's
+ * argument-lifetime contract: `caller-awaits` promises every call site
+ * co_awaits the returned task inside the same full expression (so the
+ * arguments outlive the frame by construction); `spawn-safe` permits
+ * detaching the task via Simulator::Spawn and must say why the
+ * referenced state survives until the frame completes. Contracts are
+ * matched by function name: an annotation on a header declaration
+ * covers same-name out-of-line definitions tree-wide.
+ *
+ *     // wave-owns(host|nic)
+ *     // wave-shared(<why cross-shard access is safe>)
+ *
+ * at file scope classifies the file's mutable state for the shard map:
+ * `wave-owns` pins it to one shard; `wave-shared` marks genuinely
+ * cross-shard state and documents the synchronization story. Files in
+ * a concrete host/nic domain are derived to be owned by that shard;
+ * the annotation is mandatory exactly where ownership is ambiguous
+ * (the pcie seam, and any file registering sim actors).
+ *
+ *   W201 dangling-after-suspend  Task coroutine definition whose
+ *                              parameters include references, pointers,
+ *                              string_view, or span (or an out-of-line
+ *                              member's implicit `this`) with no
+ *                              wave-lifetime contract — the lazily
+ *                              started frame holds those referents
+ *                              across its initial suspension
+ *   W202 lambda-coroutine      capturing-lambda coroutine: the frame
+ *                              references the closure object, which
+ *                              dies at the first suspension when the
+ *                              lambda is a temporary
+ *   W203 spawn-dangling        Spawn() of a task holding references to
+ *                              the spawner's stack (immediately-invoked
+ *                              lambda with reference parameters), of a
+ *                              caller-awaits coroutine (detaching
+ *                              violates its contract), or of a
+ *                              reference-taking coroutine with no
+ *                              spawn-safe contract
+ *   W204 shard-ownership       pcie-seam or actor-registering file
+ *                              with no wave-owns/wave-shared
+ *                              classification, or a classification
+ *                              contradicted by the file's domain or
+ *                              actor labels
+ *   W205 unstable-iteration    iteration over a pointer-keyed
+ *                              unordered_map/unordered_set: address-
+ *                              dependent order breaks fingerprint
+ *                              determinism across runs and shards
+ *   W206 suspend-under-guard   co_await while a scoped guard
+ *                              (*Guard, lock_guard family) or borrowed
+ *                              view local (string_view, span) is live —
+ *                              the guard spans foreign event execution
+ *
  * Domain include matrix (row may include column):
  *
  *              host   nic   pcie  neutral
@@ -66,20 +126,37 @@
  *   neutral      no    no     no    yes
  *   harness     yes   yes    yes    yes      tests/bench/tools/fuzz
  *
+ * Scope: files under src/ get the full catalog ("model" scope). Files
+ * under tests/ and bench/ get the harness subset — the W200 rules
+ * whose bug classes corrupt test processes just as surely as model
+ * ones (W202/W203/W205/W206) — so harness coroutine idioms are vetted
+ * too. Planted-violation fixtures (tests/analyze_fixtures/) are
+ * excluded from tree walks and analyzed explicitly by analyze_test.
+ *
  * Suppression: append `// wave-analyze: allow(W00X reason)` on the
- * offending line (or the line directly above), or add `path:W00X` to
- * the baseline file passed with --baseline. Inline suppressions are
- * for deliberate, justified exceptions; the baseline exists to land
- * the checker on a tree with pre-existing debt and then burn it down.
+ * offending line (or the line directly above); one allow() may list
+ * several rule ids (`allow(W101 W105 reason)`). Alternatively add
+ * `path:W00X` to the baseline file passed with --baseline; a baseline
+ * path ending in '/' suppresses by directory prefix (the scoped
+ * allowlist for harness-only patterns). Inline suppressions are for
+ * deliberate, justified exceptions; the baseline exists to land the
+ * checker on a tree with pre-existing debt and then burn it down.
+ * A baseline entry that matches no finding is itself an error (dead
+ * suppressions rot silently otherwise).
  *
  * Usage:
- *   wave_analyze [--root DIR] [--baseline FILE] [--as-src] [FILE...]
+ *   wave_analyze [--root DIR] [--baseline FILE] [--as-src]
+ *                [--format=text|json] [FILE...]
  *   wave_analyze --list-rules
  *
- * With no FILE arguments, analyzes every .h/.cc under DIR/src. With
- * explicit FILEs (fixture snippets in tests), --as-src applies the
- * model-code rules regardless of the file's location. Exit status: 0
- * clean, 1 findings, 2 usage or I/O error.
+ * With no FILE arguments, analyzes every .h/.cc under DIR/src (model
+ * scope) plus DIR/tests and DIR/bench (harness scope). With explicit
+ * FILEs (fixture snippets in tests), --as-src applies the model-code
+ * rules regardless of the file's location. --format=json emits a
+ * machine-readable report (schema wave-analyze-v1) with every finding,
+ * its suppression status, and the per-file shard-ownership map.
+ * Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage
+ * or I/O error.
  */
 // wave-domain: harness
 #include <algorithm>
@@ -151,7 +228,8 @@ struct SplitLine {
 /**
  * Comment/string-aware line splitter. Block-comment state carries
  * across lines; string contents are blanked from the code channel so
- * a "//" inside a literal is not mistaken for a comment.
+ * a "//" inside a literal is not mistaken for a comment — and so an
+ * allow() spelled inside a string literal never suppresses anything.
  */
 class LineSplitter {
   public:
@@ -211,6 +289,23 @@ class LineSplitter {
     char quote_ = '"';
 };
 
+/** Argument-lifetime contract of a Task coroutine (W201/W203). */
+enum class Contract { kNone, kCallerAwaits, kSpawnSafe, kMalformed };
+
+/** One parsed Task-returning function signature (and body facts). */
+struct Coroutine {
+    std::string name;       ///< last identifier component ("PollInto")
+    std::string full_name;  ///< as written ("HostToNicChannel::PollInto")
+    bool qualified = false;    ///< Cls::Name definition → implicit this
+    bool ref_params = false;   ///< params include & / * / view types
+    bool is_definition = false;
+    bool is_coroutine = false;  ///< body contains co_await/return/yield
+    int sig_line = 0;           ///< 1-based first line of the head
+    int head_end = 0;           ///< 1-based line of the '{' or ';'
+    Contract contract = Contract::kNone;
+    std::string contract_text;  ///< raw annotation arg (for diagnostics)
+};
+
 struct SourceFile {
     std::string path;          // reported path
     std::vector<std::string> raw;
@@ -223,6 +318,14 @@ struct SourceFile {
      * file-scope `// wave-hot` puts every line in one region.
      */
     std::vector<int> hot;
+    /** File-scope shard-ownership annotation (W204). */
+    std::string owns;           ///< wave-owns(<shard>) argument, or ""
+    int owns_line = 0;
+    std::string shared_reason;  ///< wave-shared(<reason>) argument
+    bool has_shared = false;
+    int shared_line = 0;
+    /** Task-returning functions parsed from this file (W201/W203). */
+    std::vector<Coroutine> coroutines;
 };
 
 std::optional<SourceFile>
@@ -241,6 +344,9 @@ LoadFile(const fs::path& fullpath, const std::string& report_path)
     // annotation line does.
     static const std::regex kHotRe(
         R"(^\s*wave-hot(:\s*(begin|end))?\s*$)");
+    static const std::regex kOwnsRe(
+        R"(wave-owns\(\s*([A-Za-z-]*)\s*\))");
+    static const std::regex kSharedRe(R"(wave-shared\(([^)]*)\))");
     bool file_hot = false;
     int hot_depth = 0;
     int next_region = 0;
@@ -257,6 +363,17 @@ LoadFile(const fs::path& fullpath, const std::string& report_path)
                     f.domain_line = static_cast<int>(f.raw.size());
                 }
             }
+        }
+        std::smatch om;
+        if (f.owns.empty() && f.owns_line == 0 &&
+            std::regex_search(comment, om, kOwnsRe)) {
+            f.owns = om[1].str();
+            f.owns_line = static_cast<int>(f.raw.size());
+        }
+        if (!f.has_shared && std::regex_search(comment, om, kSharedRe)) {
+            f.has_shared = true;
+            f.shared_reason = om[1].str();
+            f.shared_line = static_cast<int>(f.raw.size());
         }
         std::smatch hm;
         if (std::regex_search(comment, hm, kHotRe)) {
@@ -323,6 +440,237 @@ CallArgument(const std::string& code, std::size_t open_paren)
     return code.substr(open_paren + 1);
 }
 
+/**
+ * Argument text of a call whose parentheses may span lines: joins the
+ * code channel (newline-separated) from @p open at (line, col) to the
+ * matching close paren. Bounded; returns what it has on imbalance.
+ */
+std::string
+JoinedCallArgument(const SourceFile& f, std::size_t line,
+                   std::size_t open_col)
+{
+    std::string out;
+    int depth = 0;
+    const std::size_t limit = std::min(f.lines.size(), line + 400);
+    for (std::size_t i = line; i < limit; ++i) {
+        const std::string& code = f.lines[i].code;
+        const std::size_t start = i == line ? open_col : 0;
+        for (std::size_t j = start; j < code.size(); ++j) {
+            const char c = code[j];
+            if (c == '(') {
+                ++depth;
+                if (depth == 1) continue;  // skip the opening paren
+            }
+            if (c == ')') {
+                --depth;
+                if (depth == 0) return out;
+            }
+            out += c;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+// --- coroutine signature parsing ---------------------------------------
+
+/** Do explicit parameters include a reference/pointer/view type? */
+bool
+ParamsHaveRefs(const std::string& params)
+{
+    static const std::regex kRefRe(
+        R"([&*]|\bstring_view\b|\bspan\s*<)");
+    return std::regex_search(params, kRefRe);
+}
+
+/**
+ * Parses the wave-lifetime contract from the comment channel of lines
+ * [from, to] (1-based, inclusive, clamped). First annotation wins.
+ */
+Contract
+ContractIn(const SourceFile& f, int from, int to, std::string* text)
+{
+    static const std::regex kLifetimeRe(R"(wave-lifetime\(([^)]*)\))");
+    const int lo = std::max(from, 1);
+    const int hi = std::min(to, static_cast<int>(f.lines.size()));
+    for (int i = lo; i <= hi; ++i) {
+        const std::string& comment =
+            f.lines[static_cast<std::size_t>(i - 1)].comment;
+        std::smatch m;
+        if (!std::regex_search(comment, m, kLifetimeRe)) continue;
+        std::string arg = m[1].str();
+        *text = arg;
+        if (arg == "caller-awaits") return Contract::kCallerAwaits;
+        const std::string kPrefix = "spawn-safe:";
+        if (arg.compare(0, kPrefix.size(), kPrefix) == 0) {
+            std::string reason = arg.substr(kPrefix.size());
+            reason.erase(0, reason.find_first_not_of(" \t"));
+            if (!reason.empty()) return Contract::kSpawnSafe;
+        }
+        return Contract::kMalformed;
+    }
+    return Contract::kNone;
+}
+
+/**
+ * Finds every Task-returning function head in @p f and records, for
+ * definitions, whether the body is a coroutine. Text-level: the head
+ * must start a line (after optional inline/static/virtual/...), which
+ * matches this codebase's return-type-first style; `Task<>` locals,
+ * parameters, and `co_await q.Receive()` expressions do not parse as
+ * heads and are skipped.
+ */
+std::vector<Coroutine>
+ParseCoroutines(const SourceFile& f)
+{
+    std::vector<Coroutine> out;
+    static const std::regex kHeadStartRe(
+        R"(^\s*(?:(?:inline|static|virtual|constexpr|friend|explicit)\s+)"
+        R"(|\[\[nodiscard\]\]\s*)*((?:[A-Za-z_]\w*::)*)Task\s*<)");
+    const std::size_t n = f.lines.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::smatch m;
+        if (!std::regex_search(f.lines[i].code, m, kHeadStartRe)) {
+            continue;
+        }
+        // Join a bounded window of code lines and parse by hand from
+        // the '<' of Task<...>.
+        std::string head;
+        std::vector<std::size_t> line_of;  // head index -> file line
+        const std::size_t window = std::min(n, i + 16);
+        for (std::size_t j = i; j < window; ++j) {
+            for (char c : f.lines[j].code) {
+                head += c;
+                line_of.push_back(j);
+            }
+            head += '\n';
+            line_of.push_back(j);
+        }
+        const std::size_t angle_open = static_cast<std::size_t>(
+            m.position(0) + m.length(0) - 1);
+        // Match the template argument list.
+        int angles = 0;
+        std::size_t p = angle_open;
+        for (; p < head.size(); ++p) {
+            if (head[p] == '<') ++angles;
+            if (head[p] == '>' && --angles == 0) break;
+            if (head[p] == ';' || head[p] == '{') break;  // not a head
+        }
+        if (p >= head.size() || head[p] != '>') continue;
+        ++p;
+        while (p < head.size() && std::isspace(
+                   static_cast<unsigned char>(head[p]))) {
+            ++p;
+        }
+        // Function name (possibly Class::qualified).
+        const std::size_t name_start = p;
+        while (p < head.size() &&
+               (std::isalnum(static_cast<unsigned char>(head[p])) ||
+                head[p] == '_' || head[p] == ':')) {
+            ++p;
+        }
+        if (p == name_start) continue;
+        const std::string full_name =
+            head.substr(name_start, p - name_start);
+        while (p < head.size() && std::isspace(
+                   static_cast<unsigned char>(head[p]))) {
+            ++p;
+        }
+        if (p >= head.size() || head[p] != '(') continue;
+        // Parameter list.
+        int parens = 0;
+        const std::size_t params_open = p;
+        for (; p < head.size(); ++p) {
+            if (head[p] == '(') ++parens;
+            if (head[p] == ')' && --parens == 0) break;
+        }
+        if (p >= head.size()) continue;
+        const std::string params =
+            head.substr(params_open + 1, p - params_open - 1);
+        ++p;
+        // Skip trailing qualifiers to the head terminator.
+        std::size_t term = std::string::npos;
+        char term_char = '\0';
+        for (; p < head.size(); ++p) {
+            const char c = head[p];
+            if (c == '{' || c == ';' || c == '=') {
+                term = p;
+                term_char = c;
+                break;
+            }
+            if (std::isspace(static_cast<unsigned char>(c)) ||
+                std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_') {
+                continue;  // const / noexcept / override / final
+            }
+            break;  // anything else: not a function head
+        }
+        if (term == std::string::npos) continue;
+
+        Coroutine c;
+        c.full_name = full_name;
+        const auto colon = full_name.rfind("::");
+        c.name = colon == std::string::npos
+                     ? full_name
+                     : full_name.substr(colon + 2);
+        c.qualified = colon != std::string::npos;
+        c.ref_params = ParamsHaveRefs(params);
+        c.sig_line = static_cast<int>(i + 1);
+        c.head_end = static_cast<int>(line_of[term] + 1);
+        c.is_definition = term_char == '{';
+        c.contract =
+            ContractIn(f, c.sig_line - 2, c.head_end, &c.contract_text);
+
+        if (c.is_definition) {
+            // Scan the body for co_await/co_return/co_yield.
+            static const std::regex kCoRe(
+                R"(\bco_(await|return|yield)\b)");
+            int depth = 0;
+            bool entered = false;
+            for (std::size_t j = line_of[term];
+                 j < n && !(entered && depth == 0); ++j) {
+                const std::string& code = f.lines[j].code;
+                if (!entered || depth > 0) {
+                    if (std::regex_search(code, kCoRe)) {
+                        c.is_coroutine = true;
+                    }
+                }
+                depth += BraceBalance(code);
+                if (depth > 0) entered = true;
+                if (entered && depth <= 0) break;
+            }
+        }
+        out.push_back(std::move(c));
+        // Resume scanning after the head (bodies cannot start heads at
+        // line scope in this codebase).
+        i = static_cast<std::size_t>(c.head_end) - 1;
+    }
+    return out;
+}
+
+/** Tree-wide name-keyed merge of coroutine lifetime contracts. */
+struct ContractEntry {
+    bool spawn_safe = false;
+    bool caller_awaits = false;
+    bool ref_params = false;   ///< any same-name site takes refs/this
+    bool annotated = false;    ///< any same-name site carries a contract
+};
+
+using ContractRegistry = std::map<std::string, ContractEntry>;
+
+void
+MergeContracts(const SourceFile& f, ContractRegistry& registry)
+{
+    for (const Coroutine& c : f.coroutines) {
+        ContractEntry& e = registry[c.name];
+        e.spawn_safe |= c.contract == Contract::kSpawnSafe;
+        e.caller_awaits |= c.contract == Contract::kCallerAwaits;
+        e.ref_params |= c.ref_params || c.qualified;
+        e.annotated |= c.contract == Contract::kCallerAwaits ||
+                       c.contract == Contract::kSpawnSafe;
+    }
+}
+
 // --- rule catalog ------------------------------------------------------
 
 struct Rule {
@@ -361,6 +709,23 @@ constexpr Rule kRules[] = {
      "no printf-family or iostream I/O on wave-hot paths"},
     {"W106", "hot-unbatched",
      "no per-element Channel ops inside wave-hot loops (bulk API)"},
+    {"W201", "dangling-after-suspend",
+     "Task coroutines taking refs/pointers/views (or implicit this) "
+     "carry a wave-lifetime(caller-awaits|spawn-safe: ...) contract"},
+    {"W202", "lambda-coroutine",
+     "no capturing-lambda coroutines (captures live in the closure, "
+     "which dies at the first suspension when temporary)"},
+    {"W203", "spawn-dangling",
+     "Spawn() only detaches spawn-safe tasks; never caller-awaits "
+     "coroutines or lambdas bound to the spawner's stack"},
+    {"W204", "shard-ownership",
+     "pcie-seam and actor-registering files classify their mutable "
+     "state with wave-owns(<shard>) or wave-shared(<reason>)"},
+    {"W205", "unstable-iteration",
+     "no iteration over pointer-keyed unordered containers in model "
+     "code (address-dependent order breaks determinism fingerprints)"},
+    {"W206", "suspend-under-guard",
+     "no co_await while a scoped guard or borrowed view local is live"},
 };
 
 /**
@@ -423,6 +788,9 @@ const char* const kFloatTokenRe =
 
 // --- analyzer ----------------------------------------------------------
 
+/** Which rule set a file gets. */
+enum class Scope { kModel, kHarness };
+
 class Analyzer {
   public:
     Analyzer(fs::path root, bool werror_missing_domain)
@@ -432,14 +800,26 @@ class Analyzer {
     }
 
     std::vector<Finding> findings;
+    ContractRegistry registry;
 
-    /** Analyzes one file; @p as_model applies the model-code rules. */
+    /** Analyzes one file under the given rule scope. */
     void
-    Analyze(const SourceFile& f, bool as_model)
+    Analyze(const SourceFile& f, Scope scope)
     {
-        if (!as_model) return;  // harness trees are out of scope
-
         const bool in_check = PathHas(f.path, "check/");
+
+        if (scope == Scope::kHarness) {
+            // Harness trees get the concurrency-readiness subset: the
+            // coroutine-lifetime and determinism bug classes corrupt
+            // test processes exactly like model ones. The annotation
+            // sweeps (W201/W204) and domain rules stay model-only.
+            CheckLambdaCoroutines(f);
+            CheckSpawnSites(f);
+            CheckUnstableIteration(f);
+            CheckSuspendUnderGuard(f);
+            return;
+        }
+
         const bool time_bridge = PathEndsWith(f.path, "sim/time.h") ||
                                  PathEndsWith(f.path, "machine/cycles.h");
 
@@ -458,6 +838,14 @@ class Analyzer {
         if (!time_bridge) CheckTimeNarrowing(f);
         CheckEndpointCoverage(f);
         CheckHotPaths(f);
+        if (f.domain != Domain::kHarness) {
+            CheckCoroutineContracts(f);
+            CheckShardOwnership(f, in_check);
+        }
+        CheckLambdaCoroutines(f);
+        CheckSpawnSites(f);
+        CheckUnstableIteration(f);
+        CheckSuspendUnderGuard(f);
     }
 
     /** Domain of an include target, loading and caching the file. */
@@ -870,6 +1258,430 @@ class Analyzer {
         }
     }
 
+    // --- W200 series: concurrency readiness ---------------------------
+
+    /**
+     * W201: every Task coroutine definition whose frame holds borrowed
+     * state (reference/pointer/view parameters, or the implicit `this`
+     * of an out-of-line member) must state its argument-lifetime
+     * contract. A contract on a same-name declaration elsewhere in the
+     * analyzed set (the header) also satisfies the definition, so the
+     * public API carries the annotation once. Matching is name-
+     * granular: overloads share a contract.
+     */
+    void
+    CheckCoroutineContracts(const SourceFile& f)
+    {
+        for (const Coroutine& c : f.coroutines) {
+            if (c.contract == Contract::kMalformed) {
+                Add(f.path, c.sig_line, "W201",
+                    "malformed wave-lifetime annotation `" +
+                        c.contract_text +
+                        "`; use wave-lifetime(caller-awaits) or "
+                        "wave-lifetime(spawn-safe: <why the referents "
+                        "outlive the frame>)");
+                continue;
+            }
+            if (!c.is_definition || !c.is_coroutine) continue;
+            if (!c.ref_params && !c.qualified) continue;
+            if (c.contract != Contract::kNone) continue;
+            const auto it = registry.find(c.name);
+            if (it != registry.end() && it->second.annotated) continue;
+            const char* what =
+                c.ref_params
+                    ? (c.qualified
+                           ? "reference/pointer parameters and the "
+                             "implicit `this`"
+                           : "reference/pointer/view parameters")
+                    : "the implicit `this` of an out-of-line member";
+            Add(f.path, c.sig_line, "W201",
+                "coroutine `" + c.full_name + "` holds " + what +
+                    " across its initial suspension but states no "
+                    "lifetime contract; annotate the declaration or "
+                    "definition with wave-lifetime(caller-awaits) or "
+                    "wave-lifetime(spawn-safe: <reason>)");
+        }
+    }
+
+    /**
+     * W202: a lambda with a non-empty capture list whose explicit
+     * return type is a Task. Inside the coroutine the captures are
+     * reached through the closure object; when the closure is a
+     * temporary (the overwhelmingly common case for lambda arguments)
+     * every capture dangles from the first suspension on. A capturing
+     * lambda may *construct and return* a named coroutine's task (no
+     * explicit -> Task return type needed, captures are read before
+     * any suspension); it must not *be* the coroutine.
+     */
+    void
+    CheckLambdaCoroutines(const SourceFile& f)
+    {
+        static const std::regex kCaptureCoroRe(
+            R"(\[\s*[^\]\s][^\]]*\]\s*(\([^)]*\))?\s*->\s*)"
+            R"((?:[A-Za-z_]\w*::)*Task\s*<)");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            if (std::regex_search(f.lines[i].code, kCaptureCoroRe)) {
+                Add(f.path, static_cast<int>(i + 1), "W202",
+                    "capturing-lambda coroutine: the frame references "
+                    "the closure object, which dies at the first "
+                    "suspension when the lambda is a temporary; move "
+                    "the body into a named coroutine taking the state "
+                    "explicitly (a capture-free lambda may still "
+                    "construct and return its task)");
+            }
+        }
+    }
+
+    /**
+     * W203: Spawn() detaches a frame from the spawning stack, so the
+     * task must not borrow that stack. Three textual triggers:
+     * immediately-invoked lambdas binding reference parameters to the
+     * spawner's locals, named coroutines under a caller-awaits
+     * contract (detaching violates it), and named reference-taking
+     * coroutines with no contract at all.
+     */
+    void
+    CheckSpawnSites(const SourceFile& f)
+    {
+        static const std::regex kSpawnRe(R"(\bSpawn\s*\()");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            std::smatch m;
+            if (!std::regex_search(code, m, kSpawnRe)) continue;
+            const auto open =
+                static_cast<std::size_t>(m.position(0)) + m.length(0) -
+                1;
+            const std::string arg = JoinedCallArgument(f, i, open);
+            const int line_no = static_cast<int>(i + 1);
+            AnalyzeSpawnArgument(f, line_no, arg);
+        }
+    }
+
+    void
+    AnalyzeSpawnArgument(const SourceFile& f, int line_no,
+                         const std::string& arg)
+    {
+        std::size_t p = 0;
+        const auto skip_ws = [&] {
+            while (p < arg.size() && std::isspace(
+                       static_cast<unsigned char>(arg[p]))) {
+                ++p;
+            }
+        };
+        skip_ws();
+        if (p < arg.size() && arg[p] == '[') {
+            // Lambda: [captures](params) -> ret {body} (invoke-args)
+            std::size_t q = p;
+            int depth = 0;
+            for (; q < arg.size(); ++q) {
+                if (arg[q] == '[') ++depth;
+                if (arg[q] == ']' && --depth == 0) break;
+            }
+            if (q >= arg.size()) return;
+            p = q + 1;
+            skip_ws();
+            std::string params;
+            if (p < arg.size() && arg[p] == '(') {
+                const std::size_t params_open = p;
+                depth = 0;
+                for (; p < arg.size(); ++p) {
+                    if (arg[p] == '(') ++depth;
+                    if (arg[p] == ')' && --depth == 0) break;
+                }
+                if (p >= arg.size()) return;
+                params = arg.substr(params_open + 1,
+                                    p - params_open - 1);
+                ++p;
+            }
+            // Skip to the body and over it.
+            while (p < arg.size() && arg[p] != '{') ++p;
+            if (p >= arg.size()) return;
+            depth = 0;
+            for (; p < arg.size(); ++p) {
+                if (arg[p] == '{') ++depth;
+                if (arg[p] == '}' && --depth == 0) break;
+            }
+            if (p >= arg.size()) return;
+            ++p;
+            skip_ws();
+            // Immediate invocation?
+            if (p < arg.size() && arg[p] == '(') {
+                const std::string invoke =
+                    CallArgument(arg, p);
+                const bool has_args =
+                    invoke.find_first_not_of(" \t\n") !=
+                    std::string::npos;
+                if (has_args && ParamsHaveRefs(params)) {
+                    Add(f.path, line_no, "W203",
+                        "spawned task binds reference parameters to "
+                        "the Spawn caller's stack frame; the frame "
+                        "outlives this scope unless the referents are "
+                        "kept alive past Run() — pass owned state or "
+                        "use a named spawn-safe coroutine");
+                }
+            }
+            return;
+        }
+        // std::move(var) or a plain variable/member: ownership already
+        // settled elsewhere.
+        static const std::regex kVarRe(
+            R"(^(?:std::move\s*\(\s*)?[A-Za-z_][\w:.\->]*\s*\)?\s*$)");
+        const std::string tail = arg.substr(p);
+        if (std::regex_match(tail, kVarRe)) return;
+        // Named call: take the identifier directly before the first
+        // '(' (the last path component of the callee).
+        static const std::regex kCalleeRe(R"(([A-Za-z_]\w*)\s*\()");
+        std::smatch cm;
+        if (!std::regex_search(tail, cm, kCalleeRe)) return;
+        const std::string callee = cm[1].str();
+        const auto it = registry.find(callee);
+        if (it == registry.end()) return;  // unknown: out of scope
+        const ContractEntry& e = it->second;
+        if (e.spawn_safe) return;
+        if (e.caller_awaits) {
+            Add(f.path, line_no, "W203",
+                "Spawn() detaches `" + callee +
+                    "`, which is annotated wave-lifetime("
+                    "caller-awaits); detaching violates its contract — "
+                    "await it instead, or give it a spawn-safe "
+                    "contract explaining why its referents outlive "
+                    "the frame");
+            return;
+        }
+        if (e.ref_params) {
+            Add(f.path, line_no, "W203",
+                "Spawn() detaches `" + callee +
+                    "`, a coroutine holding references with no "
+                    "wave-lifetime(spawn-safe: ...) contract; state "
+                    "why every referent outlives the frame, or pass "
+                    "owned state");
+        }
+    }
+
+    /**
+     * W204: the shard-ownership map. Files whose mutable state is
+     * reachable from more than one clock domain — the pcie seam, and
+     * any file registering sim actors — must classify that state with
+     * wave-owns(<shard>) or wave-shared(<reason>), and the
+     * classification must not contradict the file's domain or the
+     * domains of the actors it registers. Concrete host/nic files
+     * without actor registrations derive their ownership from the
+     * domain annotation and need nothing extra.
+     */
+    void
+    CheckShardOwnership(const SourceFile& f, bool in_check)
+    {
+        if (in_check) return;  // checker shadow state is harness-read
+        static const std::regex kRegisterRe(
+            R"((->|\.)\s*RegisterActor\s*\()");
+        static const std::regex kLabelDomRe(
+            R"(RegisterActor\s*\(\s*"(host|nic)[-_])");
+        bool registers = false;
+        std::vector<std::pair<int, std::string>> label_domains;
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            if (!std::regex_search(f.lines[i].code, kRegisterRe)) {
+                continue;
+            }
+            registers = true;
+            std::smatch m;
+            // Labels live in string literals: match on the raw line.
+            if (std::regex_search(f.raw[i], m, kLabelDomRe)) {
+                label_domains.emplace_back(static_cast<int>(i + 1),
+                                           m[1].str());
+            }
+        }
+
+        const bool has_owns = f.owns_line != 0;
+        if (has_owns && f.owns != "host" && f.owns != "nic") {
+            Add(f.path, f.owns_line, "W204",
+                "wave-owns(" + f.owns +
+                    ") names no shard; the shards are `host` and "
+                    "`nic` (seam state that belongs to neither side "
+                    "is wave-shared(<reason>))");
+            return;
+        }
+        if (has_owns && f.has_shared) {
+            Add(f.path, f.shared_line, "W204",
+                "file is annotated both wave-owns(" + f.owns +
+                    ") and wave-shared(...); pick one classification");
+            return;
+        }
+        if (f.has_shared) {
+            std::string reason = f.shared_reason;
+            reason.erase(0, reason.find_first_not_of(" \t"));
+            if (reason.empty()) {
+                Add(f.path, f.shared_line, "W204",
+                    "wave-shared() without a reason; say why "
+                    "cross-shard access to this state is safe (what "
+                    "serializes it, what staleness it tolerates)");
+            }
+        }
+        if (has_owns) {
+            if ((f.domain == Domain::kHost && f.owns == "nic") ||
+                (f.domain == Domain::kNic && f.owns == "host")) {
+                Add(f.path, f.owns_line, "W204",
+                    "wave-owns(" + f.owns + ") contradicts the file's " +
+                        DomainName(f.domain) + " wave-domain");
+            }
+            for (const auto& [line, dom] : label_domains) {
+                if (dom != f.owns) {
+                    Add(f.path, line, "W204",
+                        "file claims wave-owns(" + f.owns +
+                            ") but registers a " + dom +
+                            "-domain actor here; actors of another "
+                            "shard reaching this state make it "
+                            "wave-shared(<reason>)");
+                }
+            }
+        }
+        const bool required = f.domain == Domain::kPcie || registers;
+        if (required && !has_owns && !f.has_shared) {
+            Add(f.path, 1, "W204",
+                std::string(f.domain == Domain::kPcie
+                                ? "pcie-seam file"
+                                : "file registering sim actors") +
+                    " carries no shard-ownership classification; add "
+                    "`// wave-owns(host|nic)` or `// wave-shared("
+                    "<reason>)` so the parallel executor knows which "
+                    "shard may touch this state");
+        }
+    }
+
+    /**
+     * W205: range-for (or .begin() iteration) over a container
+     * declared as a pointer-keyed unordered_map/unordered_set in the
+     * same file. Hash order of pointers is address order: it varies
+     * run to run and shard to shard, so anything downstream of the
+     * iteration (event scheduling, stats, reports) loses fingerprint
+     * stability. Keyed lookups stay fine.
+     */
+    void
+    CheckUnstableIteration(const SourceFile& f)
+    {
+        static const std::regex kUnorderedRe(
+            R"(\bunordered_(map|set)\s*<)");
+        // Names of variables declared with a pointer-keyed type.
+        std::set<std::string> ptr_keyed;
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            std::smatch m;
+            if (!std::regex_search(code, m, kUnorderedRe)) continue;
+            // Join a short window so multi-line declarations parse.
+            std::string decl = code;
+            for (std::size_t j = i + 1;
+                 j < std::min(f.lines.size(), i + 4); ++j) {
+                decl += ' ';
+                decl += f.lines[j].code;
+            }
+            const auto angle =
+                decl.find('<', static_cast<std::size_t>(
+                                   m.position(0)));
+            if (angle == std::string::npos) continue;
+            int depth = 0;
+            std::size_t q = angle;
+            std::size_t key_end = std::string::npos;
+            for (; q < decl.size(); ++q) {
+                if (decl[q] == '<') ++depth;
+                if (decl[q] == '>' && --depth == 0) break;
+                if (decl[q] == ',' && depth == 1 &&
+                    key_end == std::string::npos) {
+                    key_end = q;
+                }
+            }
+            if (q >= decl.size()) continue;
+            const std::size_t kend =
+                key_end == std::string::npos ? q : key_end;
+            const std::string key =
+                decl.substr(angle + 1, kend - angle - 1);
+            if (key.find('*') == std::string::npos) continue;
+            // Variable name after the closing '>'.
+            static const std::regex kVarNameRe(
+                R"(^\s*([A-Za-z_]\w*)\s*[;={(])");
+            const std::string after = decl.substr(q + 1);
+            std::smatch vm;
+            if (std::regex_search(after, vm, kVarNameRe)) {
+                ptr_keyed.insert(vm[1].str());
+            }
+        }
+        if (ptr_keyed.empty()) return;
+        static const std::regex kRangeForRe(
+            R"(\bfor\s*\([^;)]*:\s*([A-Za-z_]\w*)\s*\))");
+        static const std::regex kBeginRe(
+            R"(\b([A-Za-z_]\w*)\s*\.\s*(?:begin|cbegin)\s*\()");
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            std::smatch m;
+            std::string name;
+            if (std::regex_search(code, m, kRangeForRe)) {
+                name = m[1].str();
+            } else if (std::regex_search(code, m, kBeginRe)) {
+                name = m[1].str();
+            } else {
+                continue;
+            }
+            if (ptr_keyed.count(name) == 0) continue;
+            Add(f.path, static_cast<int>(i + 1), "W205",
+                "iteration over pointer-keyed unordered container `" +
+                    name +
+                    "`; hash order is address order and differs run "
+                    "to run — key by a stable id, use a sorted "
+                    "container, or snapshot-and-sort before "
+                    "iterating");
+        }
+    }
+
+    /**
+     * W206: a co_await inside the lexical scope of a live scoped
+     * guard (types named *Guard, the lock_guard family) or a borrowed
+     * view local (string_view, span). Suspension runs arbitrary other
+     * events before resuming: a guard spans foreign execution it was
+     * never meant to cover, and a borrowed view's backing store may be
+     * mutated or freed by the time the frame resumes.
+     */
+    void
+    CheckSuspendUnderGuard(const SourceFile& f)
+    {
+        static const std::regex kGuardDeclRe(
+            R"(\b((?:std::)?(?:lock_guard|scoped_lock|unique_lock)"
+            R"(|shared_lock)\s*(?:<[^;>]*>)?|[A-Za-z_]\w*Guard))"
+            R"(\s+[A-Za-z_]\w*\s*[({;=])");
+        static const std::regex kViewDeclRe(
+            R"(\b(std::string_view|std::span\s*<[^;>]*>))"
+            R"(\s+[A-Za-z_]\w*\s*[=({])");
+        static const std::regex kCoAwaitRe(R"(\bco_await\b)");
+        struct Live {
+            int depth;
+            int line;
+            std::string what;
+        };
+        std::vector<Live> live;
+        int depth = 0;
+        for (std::size_t i = 0; i < f.lines.size(); ++i) {
+            const std::string& code = f.lines[i].code;
+            const int line_no = static_cast<int>(i + 1);
+            std::smatch m;
+            if (std::regex_search(code, m, kGuardDeclRe) ||
+                std::regex_search(code, m, kViewDeclRe)) {
+                live.push_back({depth, line_no, m[1].str()});
+            }
+            if (!live.empty() &&
+                std::regex_search(code, kCoAwaitRe)) {
+                const Live& g = live.back();
+                Add(f.path, line_no, "W206",
+                    "co_await while `" + g.what + "` (declared line " +
+                        std::to_string(g.line) +
+                        ") is live; the suspension runs other events "
+                        "under the guard / behind the borrowed view — "
+                        "release it before suspending or copy what "
+                        "you need");
+            }
+            depth += BraceBalance(code);
+            while (!live.empty() && depth < live.back().depth) {
+                live.pop_back();
+            }
+        }
+    }
+
     fs::path root_;
     bool werror_missing_domain_;
     std::map<std::string, Domain> include_domains_;
@@ -877,12 +1689,19 @@ class Analyzer {
 
 // --- suppression -------------------------------------------------------
 
-/** Inline `wave-analyze: allow(W00X ...)` on the line or the previous. */
+/**
+ * Inline `wave-analyze: allow(...)` on the line or the previous one.
+ * One allow() may list several rule ids before the justification:
+ * `allow(W101 W105 formatting happens once at shutdown)`. The allow
+ * must sit in a comment: the splitter blanks string literals out of
+ * the comment channel, so quoting the incantation never suppresses.
+ */
 bool
 InlineSuppressed(const SourceFile& f, const Finding& finding)
 {
     static const std::regex kAllowRe(
-        R"(wave-analyze:\s*allow\(\s*(W[0-9]{3}))");
+        R"(wave-analyze:\s*allow\(\s*((?:W[0-9]{3}[\s,]+)*W[0-9]{3}))");
+    static const std::regex kIdRe(R"(W[0-9]{3})");
     const auto check = [&](int line_no) {
         if (line_no < 1 ||
             line_no > static_cast<int>(f.lines.size())) {
@@ -891,17 +1710,27 @@ InlineSuppressed(const SourceFile& f, const Finding& finding)
         const std::string& comment =
             f.lines[static_cast<std::size_t>(line_no - 1)].comment;
         std::smatch m;
-        return std::regex_search(comment, m, kAllowRe) &&
-               m[1].str() == finding.rule;
+        if (!std::regex_search(comment, m, kAllowRe)) return false;
+        const std::string ids = m[1].str();
+        auto begin =
+            std::sregex_iterator(ids.begin(), ids.end(), kIdRe);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            if (it->str() == finding.rule) return true;
+        }
+        return false;
     };
     return check(finding.line) || check(finding.line - 1);
 }
 
-/** Baseline file: `path:W00X` per line; '#' comments and blanks ok. */
-std::set<std::string>
+/**
+ * Baseline file: `path:W00X` per line; '#' comments and blanks ok.
+ * A path ending in '/' matches by directory prefix — the scoped
+ * allowlist form for harness-only patterns (e.g. `tests/:W203`).
+ */
+std::vector<std::string>
 LoadBaseline(const fs::path& path)
 {
-    std::set<std::string> entries;
+    std::vector<std::string> entries;
     std::ifstream in(path);
     std::string line;
     while (std::getline(in, line)) {
@@ -912,9 +1741,24 @@ LoadBaseline(const fs::path& path)
                 line.back() == '\r')) {
             line.pop_back();
         }
-        if (!line.empty()) entries.insert(line);
+        if (!line.empty()) entries.push_back(line);
     }
     return entries;
+}
+
+/** Does baseline entry @p entry suppress @p finding? */
+bool
+BaselineMatches(const std::string& entry, const Finding& finding)
+{
+    const auto colon = entry.rfind(':');
+    if (colon == std::string::npos) return false;
+    const std::string epath = entry.substr(0, colon);
+    const std::string erule = entry.substr(colon + 1);
+    if (erule != finding.rule) return false;
+    if (!epath.empty() && epath.back() == '/') {
+        return finding.path.compare(0, epath.size(), epath) == 0;
+    }
+    return finding.path == epath;
 }
 
 void
@@ -926,6 +1770,36 @@ ListRules()
     }
 }
 
+// --- output ------------------------------------------------------------
+
+std::string
+JsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/** Suppression status of one finding, for reporting. */
+enum class Status { kReported, kInline, kBaseline };
+
 }  // namespace
 
 int
@@ -934,6 +1808,7 @@ main(int argc, char** argv)
     fs::path root = ".";
     fs::path baseline_path;
     bool as_src = false;
+    bool json = false;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -948,6 +1823,10 @@ main(int argc, char** argv)
             baseline_path = argv[++i];
         } else if (arg == "--as-src") {
             as_src = true;
+        } else if (arg == "--format=json") {
+            json = true;
+        } else if (arg == "--format=text") {
+            json = false;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "wave_analyze: unknown option %s\n",
                          arg.c_str());
@@ -967,26 +1846,39 @@ main(int argc, char** argv)
     struct Job {
         fs::path full;
         std::string report;
-        bool model;
+        Scope scope;
     };
     std::vector<Job> jobs;
     if (files.empty()) {
-        for (auto it = fs::recursive_directory_iterator(root / "src");
-             it != fs::recursive_directory_iterator(); ++it) {
-            if (!it->is_regular_file()) continue;
-            const std::string ext = it->path().extension().string();
-            if (ext != ".h" && ext != ".cc") continue;
-            const std::string rel =
-                fs::relative(it->path(), root).generic_string();
-            jobs.push_back({it->path(), rel, /*model=*/true});
-        }
+        const auto walk = [&](const char* dir, Scope scope) {
+            if (!fs::exists(root / dir, ec)) return;
+            for (auto it = fs::recursive_directory_iterator(root / dir);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                if (!it->is_regular_file()) continue;
+                const std::string ext =
+                    it->path().extension().string();
+                if (ext != ".h" && ext != ".cc") continue;
+                const std::string rel =
+                    fs::relative(it->path(), root).generic_string();
+                // Planted-violation corpora are analyzed explicitly
+                // by analyze_test, never as part of the tree.
+                if (rel.find("analyze_fixtures") != std::string::npos) {
+                    continue;
+                }
+                jobs.push_back({it->path(), rel, scope});
+            }
+        };
+        walk("src", Scope::kModel);
+        walk("tests", Scope::kHarness);
+        walk("bench", Scope::kHarness);
     } else {
         for (const std::string& f : files) {
             const fs::path p(f);
             const bool model =
                 as_src ||
                 p.generic_string().find("src/") != std::string::npos;
-            jobs.push_back({p, p.generic_string(), model});
+            jobs.push_back({p, p.generic_string(),
+                            model ? Scope::kModel : Scope::kHarness});
         }
     }
     std::sort(jobs.begin(), jobs.end(),
@@ -996,6 +1888,7 @@ main(int argc, char** argv)
 
     Analyzer analyzer(root, /*werror_missing_domain=*/true);
     std::map<std::string, SourceFile> loaded;
+    std::vector<const Job*> order;
     for (const Job& job : jobs) {
         auto f = LoadFile(job.full, job.report);
         if (!f) {
@@ -1003,35 +1896,142 @@ main(int argc, char** argv)
                          job.full.string().c_str());
             return 2;
         }
-        analyzer.Analyze(*f, job.model);
+        f->coroutines = ParseCoroutines(*f);
+        MergeContracts(*f, analyzer.registry);
         loaded.emplace(job.report, std::move(*f));
+        order.push_back(&job);
+    }
+    // Second pass: contracts from every file (headers annotating the
+    // public API, definitions elsewhere) are visible to every check.
+    for (const Job* job : order) {
+        analyzer.Analyze(loaded.at(job->report), job->scope);
     }
 
-    const std::set<std::string> baseline =
-        baseline_path.empty() ? std::set<std::string>{}
+    const std::vector<std::string> baseline =
+        baseline_path.empty() ? std::vector<std::string>{}
                               : LoadBaseline(baseline_path);
+    std::vector<bool> baseline_used(baseline.size(), false);
 
     int reported = 0;
     int suppressed = 0;
+    std::vector<Status> status;
+    status.reserve(analyzer.findings.size());
     for (const Finding& finding : analyzer.findings) {
         const SourceFile& f = loaded.at(finding.path);
-        if (InlineSuppressed(f, finding) ||
-            baseline.count(finding.path + ":" + finding.rule) != 0) {
-            ++suppressed;
-            continue;
+        Status s = Status::kReported;
+        for (std::size_t b = 0; b < baseline.size(); ++b) {
+            if (BaselineMatches(baseline[b], finding)) {
+                baseline_used[b] = true;
+                s = Status::kBaseline;
+            }
         }
-        std::printf("%s:%d: %s: %s\n", finding.path.c_str(),
-                    finding.line, finding.rule.c_str(),
-                    finding.message.c_str());
-        ++reported;
+        if (InlineSuppressed(f, finding)) s = Status::kInline;
+        status.push_back(s);
+        if (s == Status::kReported) {
+            ++reported;
+        } else {
+            ++suppressed;
+        }
     }
 
-    if (reported == 0) {
-        std::printf("wave_analyze: OK (%zu files, %d suppressed)\n",
-                    jobs.size(), suppressed);
+    std::vector<std::string> stale;
+    for (std::size_t b = 0; b < baseline.size(); ++b) {
+        if (!baseline_used[b]) stale.push_back(baseline[b]);
+    }
+
+    if (json) {
+        std::printf("{\n  \"schema\": \"wave-analyze-v1\",\n");
+        std::printf("  \"files\": %zu,\n", jobs.size());
+        std::printf("  \"reported\": %d,\n", reported);
+        std::printf("  \"suppressed\": %d,\n", suppressed);
+        std::printf("  \"findings\": [");
+        for (std::size_t i = 0; i < analyzer.findings.size(); ++i) {
+            const Finding& fd = analyzer.findings[i];
+            const char* sup =
+                status[i] == Status::kReported
+                    ? "null"
+                    : (status[i] == Status::kInline ? "\"inline\""
+                                                    : "\"baseline\"");
+            std::printf(
+                "%s\n    {\"rule\": \"%s\", \"path\": \"%s\", "
+                "\"line\": %d, \"message\": \"%s\", "
+                "\"suppressed\": %s, \"suppression\": %s}",
+                i == 0 ? "" : ",", fd.rule.c_str(),
+                JsonEscape(fd.path).c_str(), fd.line,
+                JsonEscape(fd.message).c_str(),
+                status[i] == Status::kReported ? "false" : "true", sup);
+        }
+        std::printf("\n  ],\n");
+        // The shard-ownership map: explicit annotations, with
+        // ownership derived from the domain where unambiguous. This is
+        // the artifact the parallel-executor work consumes.
+        std::printf("  \"ownership\": [");
+        bool first = true;
+        for (const Job* job : order) {
+            if (job->scope != Scope::kModel) continue;
+            const SourceFile& f = loaded.at(job->report);
+            std::string owns = f.owns_line != 0 ? f.owns : "";
+            std::string shared =
+                f.has_shared ? f.shared_reason : "";
+            bool derived = false;
+            if (owns.empty() && !f.has_shared) {
+                if (f.domain == Domain::kHost) {
+                    owns = "host";
+                    derived = true;
+                } else if (f.domain == Domain::kNic) {
+                    owns = "nic";
+                    derived = true;
+                }
+            }
+            const std::string owns_json =
+                owns.empty() ? std::string("null")
+                             : "\"" + JsonEscape(owns) + "\"";
+            const std::string shared_json =
+                f.has_shared ? "\"" + JsonEscape(shared) + "\""
+                             : std::string("null");
+            std::printf(
+                "%s\n    {\"path\": \"%s\", \"domain\": \"%s\", "
+                "\"owns\": %s, \"shared\": %s, \"derived\": %s}",
+                first ? "" : ",", JsonEscape(f.path).c_str(),
+                DomainName(f.domain), owns_json.c_str(),
+                shared_json.c_str(), derived ? "true" : "false");
+            first = false;
+        }
+        std::printf("\n  ],\n");
+        std::printf("  \"stale_baseline\": [");
+        for (std::size_t i = 0; i < stale.size(); ++i) {
+            std::printf("%s\n    \"%s\"", i == 0 ? "" : ",",
+                        JsonEscape(stale[i]).c_str());
+        }
+        std::printf("\n  ]\n}\n");
+    } else {
+        for (std::size_t i = 0; i < analyzer.findings.size(); ++i) {
+            if (status[i] != Status::kReported) continue;
+            const Finding& fd = analyzer.findings[i];
+            std::printf("%s:%d: %s: %s\n", fd.path.c_str(), fd.line,
+                        fd.rule.c_str(), fd.message.c_str());
+        }
+        for (const std::string& entry : stale) {
+            std::printf(
+                "wave_analyze: stale baseline entry `%s` matches no "
+                "finding; delete it from %s (dead suppressions rot)\n",
+                entry.c_str(), baseline_path.string().c_str());
+        }
+    }
+
+    if (reported == 0 && stale.empty()) {
+        if (!json) {
+            std::printf("wave_analyze: OK (%zu files, %d suppressed)\n",
+                        jobs.size(), suppressed);
+        }
         return 0;
     }
-    std::printf("wave_analyze: %d finding%s (%d suppressed)\n",
-                reported, reported == 1 ? "" : "s", suppressed);
+    if (!json) {
+        std::printf(
+            "wave_analyze: %d finding%s (%d suppressed, %zu stale "
+            "baseline entr%s)\n",
+            reported, reported == 1 ? "" : "s", suppressed,
+            stale.size(), stale.size() == 1 ? "y" : "ies");
+    }
     return 1;
 }
