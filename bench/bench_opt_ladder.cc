@@ -3,15 +3,202 @@
  * EXP-OPT: reproduces the §7.2.2 optimization-ladder table — FIFO
  * Wave-16 saturation throughput as each §5.3/§5.4 optimization is
  * enabled cumulatively (paper: 258k -> +102% -> +31% -> +32%).
+ *
+ * The ladder also carries one engine-level rung: the simulator's
+ * timing-wheel event queue raced against a reference std::priority_queue
+ * with the exact ordering the wheel replaced. `--json <path>` (with
+ * optional `--quick`) runs just that rung and writes a wave-bench-v1
+ * report (BENCH_queue_ladder.json) so CI can gate the wheel's win via
+ * tools/bench_gate.py; both queues' pop streams are cross-checked by
+ * fingerprint before any number is reported.
  */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "check/fnv.h"
+#include "sim/time.h"
+#include "sim/timing_wheel.h"
 #include "stats/table.h"
 #include "workload/sched_experiment.h"
 
-int
-main()
+namespace {
+
+using namespace wave;
+using sim::EventNode;
+using sim::TimeNs;
+using sim::TimingWheel;
+
+// --- wheel-vs-heap rung -------------------------------------------------
+
+/**
+ * Reference event record with the ordering the timing wheel replaced:
+ * ascending (when, key, seq), unkeyed events carrying the all-ones
+ * sentinel key so they sort after keyed events at a timestamp.
+ */
+struct HeapEvent {
+    TimeNs when;
+    std::uint64_t key;
+    std::uint64_t seq;
+
+    bool
+    operator>(const HeapEvent& other) const
+    {
+        if (when.ns() != other.when.ns()) {
+            return when.ns() > other.when.ns();
+        }
+        if (key != other.key) return key > other.key;
+        return seq > other.seq;
+    }
+};
+
+/**
+ * The churn schedule both queues run: mostly sub-page delays (the event
+ * loop's steady state), a slice of multi-page delays that exercise the
+ * wheel's far ring, and a trickle of multi-millisecond timers that land
+ * in its overflow tier. Every 16th event is keyed.
+ */
+std::uint64_t
+DelayFor(int i)
 {
-    using namespace wave;
+    if (i % 97 == 0) return 30'000'000;  // beyond the far horizon
+    if (i % 31 == 0) return 200'000;     // a few pages out
+    return static_cast<std::uint64_t>(i % 64);
+}
+
+std::uint64_t
+KeyFor(int i)
+{
+    return i % 16 == 0 ? static_cast<std::uint64_t>(i)
+                       : EventNode::kUnkeyed;
+}
+
+struct QueueRunResult {
+    double events_per_sec = 0.0;
+    std::uint64_t fingerprint = check::kFnvOffsetBasis;
+};
+
+/** Drives the timing wheel through the churn schedule. */
+QueueRunResult
+RunWheel(int rounds, int events_per_round)
+{
+    TimingWheel wheel;
+    QueueRunResult result;
+    std::uint64_t total = 0;
+    TimeNs now{};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        for (int i = 0; i < events_per_round; ++i) {
+            wheel.Push(now + DelayFor(i), KeyFor(i), sim::InlineFn{});
+        }
+        while (EventNode* node = wheel.PopMin()) {
+            now = node->when;
+            result.fingerprint =
+                check::FnvWord(result.fingerprint, node->when.ns());
+            result.fingerprint =
+                check::FnvWord(result.fingerprint, node->seq);
+            wheel.Recycle(node);
+            ++total;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    result.events_per_sec =
+        static_cast<double>(total) /
+        std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+/** Drives the reference priority queue through the same schedule. */
+QueueRunResult
+RunHeap(int rounds, int events_per_round)
+{
+    std::priority_queue<HeapEvent, std::vector<HeapEvent>,
+                        std::greater<>>
+        heap;
+    QueueRunResult result;
+    std::uint64_t total = 0;
+    std::uint64_t seq = 0;
+    TimeNs now{};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        for (int i = 0; i < events_per_round; ++i) {
+            heap.push(
+                HeapEvent{now + DelayFor(i), KeyFor(i), seq++});
+        }
+        while (!heap.empty()) {
+            const HeapEvent ev = heap.top();
+            heap.pop();
+            now = ev.when;
+            result.fingerprint =
+                check::FnvWord(result.fingerprint, ev.when.ns());
+            result.fingerprint =
+                check::FnvWord(result.fingerprint, ev.seq);
+            ++total;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    result.events_per_sec =
+        static_cast<double>(total) /
+        std::chrono::duration<double>(t1 - t0).count();
+    return result;
+}
+
+/**
+ * Best-of-reps wheel and heap throughput on the identical schedule.
+ * Aborts if the two pop streams ever diverge: the rung is only a fair
+ * race while both queues yield the same (when, key, seq) order.
+ */
+void
+MeasureQueueRung(bench::BenchJson* json, bool quick)
+{
+    constexpr int kEventsPerRound = 1000;
+    const int rounds = quick ? 300 : 2000;
+    const int reps = quick ? 5 : 3;
+
+    QueueRunResult wheel;
+    QueueRunResult heap;
+    for (int rep = 0; rep < reps; ++rep) {
+        const QueueRunResult w = RunWheel(rounds, kEventsPerRound);
+        const QueueRunResult h = RunHeap(rounds, kEventsPerRound);
+        if (w.fingerprint != h.fingerprint) {
+            std::fprintf(stderr,
+                         "bench_opt_ladder: wheel/heap pop order "
+                         "diverged (%016llx vs %016llx)\n",
+                         static_cast<unsigned long long>(w.fingerprint),
+                         static_cast<unsigned long long>(h.fingerprint));
+            std::exit(1);
+        }
+        if (w.events_per_sec > wheel.events_per_sec) wheel = w;
+        if (h.events_per_sec > heap.events_per_sec) heap = h;
+    }
+
+    const double speedup = wheel.events_per_sec / heap.events_per_sec;
+    if (json != nullptr) {
+        json->Add("wheel_events_per_sec", wheel.events_per_sec, "1/s");
+        json->Add("heap_events_per_sec", heap.events_per_sec, "1/s");
+        json->Add("wheel_vs_heap_speedup", speedup, "x");
+    } else {
+        stats::PrintHeading("engine rung: event-queue implementation");
+        stats::Table table({"queue", "push+pop throughput", "delta"});
+        table.AddRow({"binary heap (reference)",
+                      bench::FmtTput(heap.events_per_sec), "-"});
+        table.AddRow({"timing wheel (current)",
+                      bench::FmtTput(wheel.events_per_sec),
+                      bench::FmtPct(speedup - 1.0)});
+        table.Print();
+    }
+}
+
+// --- §7.2.2 optimization ladder -----------------------------------------
+
+void
+RunPaperLadder()
+{
     using workload::Deployment;
     using workload::SchedExperimentConfig;
     bench::Banner("EXP-OPT",
@@ -59,5 +246,20 @@ main()
         previous = sat;
     }
     table.Print();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto json_args = bench::JsonCliArgs::Parse(argc, argv);
+    if (!json_args.json_path.empty()) {
+        bench::BenchJson json("queue_ladder");
+        MeasureQueueRung(&json, json_args.quick);
+        return json.WriteTo(json_args.json_path) ? 0 : 1;
+    }
+    RunPaperLadder();
+    MeasureQueueRung(nullptr, /*quick=*/true);
     return 0;
 }

@@ -249,6 +249,7 @@ RunRpcExperiment(const RpcExperimentConfig& cfg)
     result.range_p99 = latency[1].Percentile(0.99);
     result.preemptions = kernel.Stats().preemptions;
     result.steered = steering.steered;
+    result.event_hash = sim.EventHash();
     return result;
 }
 

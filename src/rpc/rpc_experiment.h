@@ -76,6 +76,8 @@ struct RpcExperimentResult {
     sim::DurationNs range_p99 = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t steered = 0;
+    /** Simulator event-stream fingerprint (determinism auditing). */
+    std::uint64_t event_hash = 0;
 };
 
 /** Runs one load point. */

@@ -21,9 +21,7 @@ Simulator::~Simulator()
     // or through nested Task ownership) and are destroyed below. The
     // closures are never invoked after this point, so no dangling resume
     // can occur.
-    while (!events_.empty()) {
-        events_.pop();
-    }
+    events_.Clear();
     SweepRoots(/*all=*/true);
 }
 
@@ -40,7 +38,7 @@ Simulator::Schedule(DurationNs delay, InlineFn fn)
 void
 Simulator::ScheduleAt(TimeNs when, InlineFn fn)
 {
-    Push(when, Event::kUnkeyed, std::move(fn));
+    Push(when, EventNode::kUnkeyed, std::move(fn));
 }
 
 void
@@ -54,7 +52,7 @@ void
 Simulator::ScheduleAtKeyed(TimeNs when, std::uint64_t key,
                            InlineFn fn)
 {
-    WAVE_ASSERT(key != Event::kUnkeyed,
+    WAVE_ASSERT(key != EventNode::kUnkeyed,
                 "the all-ones key is reserved for unkeyed events");
     Push(when, key, std::move(fn));
 }
@@ -65,12 +63,12 @@ Simulator::Push(TimeNs when, std::uint64_t key, InlineFn fn)
     WAVE_ASSERT(when >= now_, "scheduling into the past");
     if (tie_audit_) {
         std::uint32_t& pending = pending_at_[when];
-        if (pending > 0 && key == Event::kUnkeyed) {
+        if (pending > 0 && key == EventNode::kUnkeyed) {
             ++unkeyed_tie_insertions_;
         }
         ++pending;
     }
-    events_.push(Event{when, key, next_seq_++, std::move(fn)});
+    events_.Push(when, key, std::move(fn));
 }
 
 void
@@ -78,21 +76,27 @@ Simulator::Spawn(Task<> task)
 {
     auto handle = task.Release();
     WAVE_ASSERT(handle != nullptr, "spawning an empty task");
-    // Reap up to two completed processes per spawn: spawn-per-work-item
+    // Reap completed processes incrementally: spawn-per-work-item
     // models (one process per async DMA transfer, say) then return dead
     // root frames to the frame pool at spawn rate — and release the
     // resources those frames hold — instead of waiting out the periodic
-    // sweep. Reaping destroys frames but schedules nothing, so it never
-    // perturbs the event stream the determinism fingerprint hashes.
-    for (int scanned = 0; scanned < 2 && !roots_.empty(); ++scanned) {
+    // sweep. The two-unit budget counts *distinct slots examined*, not
+    // loop iterations: erasing a done root shifts its successor into
+    // the same slot, and that successor is examined for free (budgeting
+    // the erase itself would let a run of adjacent done roots starve
+    // the scan of credit and outlive several spawns). Reaping destroys
+    // frames but schedules nothing, so it never perturbs the event
+    // stream the determinism fingerprint hashes.
+    for (int slots_examined = 0; slots_examined < 2 && !roots_.empty();
+         ++slots_examined) {
         if (reap_cursor_ >= roots_.size()) reap_cursor_ = 0;
-        if (roots_[reap_cursor_].done()) {
+        while (reap_cursor_ < roots_.size() &&
+               roots_[reap_cursor_].done()) {
             DestroyRoot(roots_[reap_cursor_]);
             roots_.erase(roots_.begin() +
                          static_cast<std::ptrdiff_t>(reap_cursor_));
-        } else {
-            ++reap_cursor_;
         }
+        if (reap_cursor_ < roots_.size()) ++reap_cursor_;
     }
     // wave-analyze: allow(W101 roots_ keeps its capacity across sweeps, so steady-state spawn/sweep cycles reuse freed slots)
     roots_.push_back(handle);
@@ -102,14 +106,12 @@ Simulator::Spawn(Task<> task)
 bool
 Simulator::Step()
 {
-    if (events_.empty()) return false;
-    // Move the closure out before popping so it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    WAVE_ASSERT(ev.when >= now_, "event queue went backwards");
-    now_ = ev.when;
+    EventNode* node = events_.PopMin();
+    if (node == nullptr) return false;
+    WAVE_ASSERT(node->when >= now_, "event queue went backwards");
+    now_ = node->when;
     if (tie_audit_) {
-        auto it = pending_at_.find(ev.when);
+        auto it = pending_at_.find(node->when);
         if (it != pending_at_.end() && --it->second == 0) {
             pending_at_.erase(it);
         }
@@ -118,12 +120,19 @@ Simulator::Step()
     // events contribute their explicit key so the hash is insensitive
     // to insertion-order shuffles; unkeyed events contribute their
     // insertion sequence number, which identical runs reproduce.
-    event_hash_ = check::FnvWord(event_hash_, ev.when.ns());
+    event_hash_ = check::FnvWord(event_hash_, node->when.ns());
     event_hash_ = check::FnvWord(
-        event_hash_, ev.key != Event::kUnkeyed ? ev.key : ev.seq);
+        event_hash_,
+        node->key != EventNode::kUnkeyed ? node->key : node->seq);
     event_hash_ = check::FnvByte(
-        event_hash_, ev.key != Event::kUnkeyed ? 1 : 0);
-    ev.fn();
+        event_hash_, node->key != EventNode::kUnkeyed ? 1 : 0);
+    // Move the closure out and recycle the node BEFORE running it: the
+    // closure may schedule new events, and the freed node is first in
+    // line for reuse — a schedule-one-run-one steady state ping-pongs
+    // on a single pooled node.
+    InlineFn fn = std::move(node->fn);
+    events_.Recycle(node);
+    fn();
     if (++events_executed_ % kSweepInterval == 0) {
         SweepRoots(/*all=*/false);
     }
@@ -149,7 +158,10 @@ void
 Simulator::RunUntil(TimeNs when)
 {
     stopped_ = false;
-    while (!stopped_ && !events_.empty() && events_.top().when <= when) {
+    for (;;) {
+        if (stopped_) break;
+        const EventNode* head = events_.PeekMin();
+        if (head == nullptr || head->when > when) break;
         Step();
     }
     if (!stopped_ && when > now_) {

@@ -27,13 +27,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <map>
-#include <queue>
 #include <vector>
 
 #include "check/fnv.h"
 #include "sim/inline_fn.h"
 #include "sim/task.h"
 #include "sim/time.h"
+#include "sim/timing_wheel.h"
 
 namespace wave::sim {
 
@@ -92,22 +92,45 @@ class Simulator {
     void Run();
 
     /**
-     * Runs all events up to and including time Now()+duration, then
-     * advances the clock to exactly that time. Returns the new Now().
+     * Runs all events up to and including time Now()+duration.
+     *
+     * If the window completes, the clock then advances to exactly
+     * Now()+duration (even when no event landed on the boundary) and
+     * that time is returned. If Stop() is called by an event inside the
+     * window, the run returns immediately with the clock still at the
+     * stopping event's timestamp — the clock never advances past an
+     * event the caller asked to stop on — so the return value is the
+     * stop time, not the window end. A later RunFor()/RunUntil()/Run()
+     * clears the stop flag and resumes from that point.
      */
     TimeNs RunFor(DurationNs duration);
 
-    /** Runs all events up to and including @p when; clock ends at when. */
+    /**
+     * Runs all events up to and including @p when; the clock ends at
+     * exactly @p when. Stop() semantics match RunFor(): stopping
+     * mid-window leaves the clock at the stopping event's time.
+     */
     void RunUntil(TimeNs when);
 
     /** Executes the single earliest event. Returns false if none. */
     bool Step();
 
-    /** Makes Run()/RunFor()/RunUntil() return after the current event. */
+    /**
+     * Makes Run()/RunFor()/RunUntil() return after the current event,
+     * leaving the clock at that event's timestamp (a stopped RunFor
+     * does not advance to its window end). The flag clears on the next
+     * Run()/RunFor()/RunUntil() entry.
+     */
     void Stop() { stopped_ = true; }
 
     /** Number of events executed since construction (for tests/metrics). */
     std::uint64_t EventsExecuted() const { return events_executed_; }
+
+    /**
+     * Root coroutine frames currently owned (live or done-but-unreaped).
+     * Tests use this to observe the incremental reap in Spawn().
+     */
+    std::size_t RootCount() const { return roots_.size(); }
 
     /**
      * Rolling FNV-1a fingerprint of the executed event stream.
@@ -166,27 +189,6 @@ class Simulator {
     auto Yield() { return Delay(0); }
 
   private:
-    struct Event {
-        TimeNs when;
-        std::uint64_t key;  ///< explicit tie-break, or kUnkeyed
-        std::uint64_t seq;
-        InlineFn fn;
-
-        /** Sentinel key for events scheduled without a tie-break. */
-        static constexpr std::uint64_t kUnkeyed = ~0ULL;
-
-        bool
-        operator>(const Event& other) const
-        {
-            if (when != other.when) return when > other.when;
-            // Keyed events order by key; unkeyed events carry the
-            // kUnkeyed sentinel and fall through to FIFO insertion
-            // order, preserving the pre-audit semantics exactly.
-            if (key != other.key) return key > other.key;
-            return seq > other.seq;
-        }
-    };
-
     void Push(TimeNs when, std::uint64_t key, InlineFn fn);
 
     /** Destroys finished root frames; destroys all frames if @p all. */
@@ -195,11 +197,16 @@ class Simulator {
     /** Destroys one root frame, surfacing any stored exception. */
     void DestroyRoot(std::coroutine_handle<Task<>::promise_type> root);
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    /**
+     * Pending events, yielded in ascending (when, key, seq) order.
+     * Keyed events order by key at a timestamp; unkeyed events carry
+     * the EventNode::kUnkeyed sentinel key and fall through to FIFO
+     * insertion order. The wheel assigns the sequence numbers.
+     */
+    TimingWheel events_;
     std::vector<std::coroutine_handle<Task<>::promise_type>> roots_;
     std::size_t reap_cursor_ = 0;  ///< round-robin incremental reap
     TimeNs now_{};
-    std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     std::uint64_t event_hash_ = check::kFnvOffsetBasis;
     std::uint64_t unkeyed_tie_insertions_ = 0;

@@ -35,6 +35,10 @@ Histogram::Percentile(double q) const
 {
     if (count_ == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
+    // The maximum is tracked exactly, so the top quantile owes the
+    // caller the recorded maximum itself, not a bucket midpoint that
+    // may sit above (or below) every sample.
+    if (q >= 1.0) return max_;
     // Rank of the target sample (1-based), ceil(q * count), at least 1.
     const double target_f = q * static_cast<double>(count_);
     const std::uint64_t target = std::max<std::uint64_t>(
@@ -44,7 +48,12 @@ Histogram::Percentile(double q) const
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target) {
-            return BucketRepresentative(i);
+            // A bucket midpoint can fall outside the recorded range
+            // (below min_ in the lowest occupied bucket as q -> 0,
+            // above max_ in the highest): clamp the representative so
+            // every reported quantile is a value that could actually
+            // have been recorded.
+            return std::clamp(BucketRepresentative(i), min_, max_);
         }
     }
     return max_;

@@ -59,7 +59,10 @@ class Histogram {
 
     /**
      * Value at quantile @p q in [0, 1]. Returns the representative value
-     * of the bucket containing the q-th sample; 0 if empty.
+     * of the bucket containing the q-th sample, clamped to the recorded
+     * [Min(), Max()] range so a bucket midpoint can never report a value
+     * outside what was actually observed. Percentile(1.0) is Max()
+     * exactly; 0 if empty.
      */
     std::uint64_t Percentile(double q) const;
 

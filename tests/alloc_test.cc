@@ -80,6 +80,42 @@ TEST(AllocGuard, SimulatorEventLoopIsAllocationFreeInSteadyState)
     EXPECT_EQ(sink, 11'000u);
 }
 
+TEST(AllocGuard, TimingWheelStaysAllocationFreeAcrossAllTiers)
+{
+    // Exercises every tier of the wheel in the measured region: sub-page
+    // delays (near wheel), multi-page delays (far ring), and delays
+    // beyond the ~16.8 ms far horizon (overflow heap), plus keyed
+    // events for the sorted-insert path. After warmup the node pool and
+    // the overflow heap's reserved capacity must absorb all of it.
+    Simulator sim;
+    std::uint64_t sink = 0;
+    const auto run_round = [&] {
+        for (int i = 0; i < 500; ++i) {
+            const DurationNs delay = i % 97 == 0 ? DurationNs{30'000'000}
+                                     : i % 31 == 0
+                                         ? DurationNs{200'000}
+                                         : static_cast<DurationNs>(i % 64);
+            if (i % 16 == 0) {
+                sim.ScheduleKeyed(delay, static_cast<std::uint64_t>(i),
+                                  [&sink] { ++sink; });
+            } else {
+                sim.Schedule(delay, [&sink] { ++sink; });
+            }
+        }
+        sim.Run();
+    };
+
+    run_round();  // warmup: node pool covers the peak backlog
+
+    AllocGuard guard;
+    for (int round = 0; round < 10; ++round) {
+        run_round();
+    }
+    EXPECT_EQ(guard.Allocations(), 0u)
+        << "near/far/overflow wheel traffic should reuse pooled nodes";
+    EXPECT_EQ(sink, 5'500u);
+}
+
 TEST(AllocGuard, ChannelCoroutineLoopIsAllocationFreeInSteadyState)
 {
     // The measured region lives inside one long-running producer /

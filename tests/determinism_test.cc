@@ -18,15 +18,26 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "fuzz/runner.h"
+#include "fuzz/scenario.h"
+#include "ghost/agent.h"
+#include "ghost/kernel.h"
+#include "ghost/transport.h"
 #include "machine/machine.h"
+#include "machine/turbo.h"
+#include "memmgr/address_space.h"
 #include "pcie/msix.h"
 #include "rpc/rpc_experiment.h"
+#include "sched/vm_policy.h"
 #include "sim/inject.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sol/agent.h"
 #include "wave/runtime.h"
+#include "workload/busy_loop.h"
 #include "workload/sched_experiment.h"
 
 namespace wave {
@@ -286,6 +297,214 @@ TEST(Determinism, RpcExperimentIsBitReproducible)
     EXPECT_EQ(a.get_p99, b.get_p99);
     EXPECT_EQ(a.preemptions, b.preemptions);
     EXPECT_EQ(a.steered, b.steered);
+    EXPECT_EQ(a.event_hash, b.event_hash);
+}
+
+// --- Golden fingerprints: cross-implementation equivalence oracles ---
+//
+// The tests above prove run-to-run reproducibility, which a rewritten
+// event queue could satisfy while still reordering events relative to
+// the old implementation. These goldens pin the *absolute* EventHash of
+// one fixed-seed configuration per figure-bench family, captured under
+// the original std::priority_queue implementation. Any event-queue
+// replacement (the timing wheel) must reproduce every value bit-for-bit
+// — total (when, key, seq) order equivalence, not just self-consistency.
+// A mismatch means the executed event stream changed; do NOT update a
+// golden without understanding exactly which schedule moved and why.
+
+namespace {
+
+/** Fig 4a family: FIFO scheduling experiment, Wave deployment. */
+std::uint64_t
+GoldenFig4aFifo()
+{
+    workload::SchedExperimentConfig cfg;
+    cfg.deployment = workload::Deployment::kWave;
+    cfg.policy = workload::PolicyKind::kFifo;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.offered_rps = 200'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 20'000'000;
+    cfg.seed = 4242;
+    return workload::RunSchedExperiment(cfg).event_hash;
+}
+
+/** Fig 4b family: Shinjuku preemptive scheduling, Wave deployment. */
+std::uint64_t
+GoldenFig4bShinjuku()
+{
+    workload::SchedExperimentConfig cfg;
+    cfg.deployment = workload::Deployment::kWave;
+    cfg.policy = workload::PolicyKind::kShinjuku;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.offered_rps = 150'000;
+    cfg.get_fraction = 0.995;
+    cfg.slice_ns = 30'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 20'000'000;
+    cfg.seed = 7;
+    return workload::RunSchedExperiment(cfg).event_hash;
+}
+
+/** Fig 5 family: VM turbo fixture — ghOSt kernel, VM policy, ticks. */
+std::uint64_t
+GoldenFig5VmTurbo(bool ticks)
+{
+    constexpr int kCores = 8;
+    sim::Simulator sim;
+    machine::MachineConfig mc;
+    mc.host_cores = kCores + 1;
+    machine::Machine machine(sim, mc);
+
+    machine::TurboModel turbo;
+    const machine::FreqGhz freq =
+        turbo.Frequency(3, /*idle_cores_deep=*/!ticks);
+    machine.HostDomain().SetSpeed(freq.RatioTo(machine::kReferenceFreq));
+
+    WaveRuntime runtime(sim, machine, pcie::PcieConfig{},
+                        api::OptimizationConfig::Full());
+    std::unique_ptr<ghost::SchedTransport> transport;
+    if (ticks) {
+        transport = std::make_unique<ghost::ShmSchedTransport>(sim, kCores);
+    } else {
+        transport =
+            std::make_unique<ghost::WaveSchedTransport>(runtime, kCores);
+    }
+    ghost::GhostCosts costs;
+    ghost::KernelOptions options;
+    options.timer_ticks = ticks;
+    ghost::KernelSched kernel(sim, machine, *transport, costs, options);
+
+    auto policy = std::make_shared<sched::VmPolicy>();
+    ghost::AgentConfig agent_cfg;
+    std::vector<int> cores;
+    for (int c = 0; c < kCores; ++c) cores.push_back(c);
+    agent_cfg.cores = cores;
+    agent_cfg.prestage = false;
+    auto agent = std::make_shared<ghost::GhostAgent>(*transport, policy,
+                                                     agent_cfg);
+    std::unique_ptr<AgentContext> host_ctx;
+    if (ticks) {
+        host_ctx = std::make_unique<AgentContext>(
+            sim, machine.HostCpu(kCores));
+        sim.Spawn(agent->Run(*host_ctx));
+    } else {
+        runtime.StartWaveAgent(agent, 0);
+    }
+
+    for (int c = 0; c < kCores; ++c) {
+        const ghost::Tid tid_a = 1000 + c;
+        const ghost::Tid tid_b = 2000 + c;
+        policy->PinVcpu(tid_a, c);
+        policy->PinVcpu(tid_b, c);
+        if (c < 3) {
+            kernel.AddThread(tid_a,
+                             std::make_shared<workload::BusyLoopBody>());
+            kernel.AddThread(tid_b,
+                             std::make_shared<workload::IdleVcpuBody>());
+        } else {
+            kernel.AddThread(tid_a,
+                             std::make_shared<workload::IdleVcpuBody>());
+            kernel.AddThread(tid_b,
+                             std::make_shared<workload::IdleVcpuBody>());
+        }
+    }
+    kernel.Start(cores);
+
+    sim.RunFor(2'000'000);
+    sim.RunFor(5'000'000);
+    return sim.EventHash();
+}
+
+/** Fig 6 family: RPC steering experiment (6a single / 6b multi queue). */
+std::uint64_t
+GoldenFig6Rpc(bool multi_queue)
+{
+    rpc::RpcExperimentConfig cfg;
+    cfg.scenario = rpc::RpcScenario::kOffloadAll;
+    cfg.multi_queue = multi_queue;
+    cfg.rocksdb_cores = 4;
+    cfg.rpc_cores = 2;
+    cfg.num_workers = 16;
+    cfg.offered_rps = 30'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 20'000'000;
+    cfg.seed = 99;
+    return rpc::RunRpcExperiment(cfg).event_hash;
+}
+
+/** §7.4.2 SOL family: offloaded memory-management agent iteration. */
+std::uint64_t
+GoldenSolIteration()
+{
+    sim::Simulator sim;
+    machine::Machine machine(sim);
+    memmgr::AddressSpace space(409'600);  // scaled-down page count
+
+    sol::SolDeployment deployment;
+    for (int i = 0; i < 2; ++i) {
+        deployment.cpus.push_back(&machine.NicCpu(i));
+    }
+    pcie::DmaEngine dma(sim, pcie::PcieConfig{});
+    deployment.dma = &dma;
+    sol::SolAgent agent(sim, space, deployment);
+
+    sim::DurationNs duration{};
+    sim.Spawn([](sol::SolAgent& a, sim::DurationNs& out) -> sim::Task<> {
+        out = co_await a.RunIteration();
+    }(agent, duration));
+    sim.Run();
+    return sim.EventHash();
+}
+
+}  // namespace
+
+TEST(GoldenFingerprint, Fig4aFifoFamily)
+{
+    EXPECT_EQ(GoldenFig4aFifo(), 0xf2210550fc6e368eULL);
+}
+
+TEST(GoldenFingerprint, Fig4bShinjukuFamily)
+{
+    EXPECT_EQ(GoldenFig4bShinjuku(), 0xac57e5e518628b07ULL);
+}
+
+TEST(GoldenFingerprint, Fig5VmTurboFamily)
+{
+    EXPECT_EQ(GoldenFig5VmTurbo(/*ticks=*/true), 0xf3f62f945b38d180ULL);
+    EXPECT_EQ(GoldenFig5VmTurbo(/*ticks=*/false), 0xba8ad770e039911fULL);
+}
+
+TEST(GoldenFingerprint, Fig6aRpcFamily)
+{
+    EXPECT_EQ(GoldenFig6Rpc(/*multi_queue=*/false), 0xbd28356f23991040ULL);
+}
+
+TEST(GoldenFingerprint, Fig6bRpcSloFamily)
+{
+    EXPECT_EQ(GoldenFig6Rpc(/*multi_queue=*/true), 0x8458b53b95295f5eULL);
+}
+
+TEST(GoldenFingerprint, SolMemoryManagementFamily)
+{
+    EXPECT_EQ(GoldenSolIteration(), 0x08d1f7ffe1ccd4b5ULL);
+}
+
+TEST(GoldenFingerprint, FuzzCorpusSeeds)
+{
+    // Four seeded fault-injection scenarios: the corpus exercises agent
+    // stalls, MSI-X drops, DMA delays, and commit-fail bursts across
+    // the whole fabric, so queue-order equivalence here covers paths no
+    // single figure bench reaches.
+    constexpr std::uint64_t kGolden[] = {0xdb362ab85c450f81ULL, 0xc09fbff0fc0e5ef8ULL,
+                                     0x95d28d5aa82152ceULL, 0x98bddef9581a478aULL};
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const fuzz::Scenario s = fuzz::GenerateScenario(seed);
+        const fuzz::RunResult r = fuzz::RunScenario(s);
+        EXPECT_EQ(r.event_hash, kGolden[seed - 1]) << "seed " << seed;
+    }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -83,6 +84,96 @@ TEST(Simulator, RunUntilIncludesBoundaryEvents)
     sim.Schedule(100, [&] { boundary = true; });
     sim.RunUntil(TimeNs{100});
     EXPECT_TRUE(boundary);
+}
+
+TEST(Simulator, OrderingHoldsAcrossWheelHorizons)
+{
+    // Delays spanning the event queue's tiers — within the current
+    // 4096 ns wheel page, a few pages out (far ring), and beyond the
+    // ~16.8 ms far horizon (overflow) — must run in strict timestamp
+    // order regardless of insertion order.
+    Simulator sim;
+    std::vector<std::uint64_t> ran;
+    const std::uint64_t delays[] = {40'000'000, 5,     20'000'000, 4'096,
+                                    17'000'000, 100,   8'191,      1'000'000,
+                                    0,          4'095, 16'777'216};
+    for (std::uint64_t d : delays) {
+        sim.Schedule(d, [&ran, d] { ran.push_back(d); });
+    }
+    sim.Run();
+    std::vector<std::uint64_t> expect(std::begin(delays),
+                                      std::end(delays));
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(ran, expect);
+}
+
+TEST(Simulator, KeyedOrderingHoldsAfterPageMigration)
+{
+    // Keyed events at one far-future timestamp run in key order (with
+    // unkeyed events last) even though they reach the current wheel
+    // page by migration, in whatever order the far tier held them.
+    Simulator sim;
+    std::vector<std::uint64_t> ran;
+    sim.Schedule(1'000'000, [&ran] { ran.push_back(100); });
+    for (std::uint64_t key : {7ull, 3ull, 9ull, 1ull, 5ull}) {
+        sim.ScheduleKeyed(1'000'000, key,
+                          [&ran, key] { ran.push_back(key); });
+    }
+    sim.Run();
+    EXPECT_EQ(ran, (std::vector<std::uint64_t>{1, 3, 5, 7, 9, 100}));
+}
+
+TEST(Simulator, EventsScheduledIntoAnIdleGapRunFirst)
+{
+    // RunUntil peeking past an idle gap rotates the event queue toward
+    // the then-minimum event. A later Schedule into the gap must still
+    // run first — both within the current 4096 ns wheel page (scan
+    // cursor rollback) and on an earlier page (rewind).
+    Simulator sim;
+    std::vector<int> order;
+    sim.Schedule(10, [&] { order.push_back(1); });
+    sim.Schedule(3'000, [&] { order.push_back(3); });        // same page
+    sim.Schedule(10'000'000, [&] { order.push_back(5); });   // far page
+    sim.RunUntil(TimeNs{100});
+    EXPECT_EQ(sim.Now().ns(), 100u);
+    sim.Schedule(100, [&] { order.push_back(2); });  // t=200 < 3000
+    sim.RunUntil(TimeNs{5'000});
+    EXPECT_EQ(sim.Now().ns(), 5'000u);
+    sim.Schedule(1'000, [&] { order.push_back(4); });  // t=6000 < 10 ms
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(sim.Now().ns(), 10'000'000u);
+}
+
+TEST(Simulator, StopDuringRunForLeavesClockAtStoppingEvent)
+{
+    // Pinned semantics: Stop() inside a RunFor window returns with the
+    // clock at the stopping event's timestamp — the clock never
+    // advances past an event the caller asked to stop on — and the
+    // return value reports that time, not the window end.
+    Simulator sim;
+    std::vector<std::uint64_t> ran;
+    sim.Schedule(100, [&] { ran.push_back(100); });
+    sim.Schedule(250, [&] {
+        ran.push_back(250);
+        sim.Stop();
+    });
+    sim.Schedule(400, [&] { ran.push_back(400); });
+    sim.Schedule(900, [&] { ran.push_back(900); });
+
+    EXPECT_EQ(sim.RunFor(500).ns(), 250u);
+    EXPECT_EQ(sim.Now().ns(), 250u);
+    EXPECT_EQ(ran, (std::vector<std::uint64_t>{100, 250}));
+
+    // Re-entering clears the stop flag and resumes from the stop time:
+    // the event at 400 still runs, and this window's end is measured
+    // from the stop point (250 + 500 = 750), past 400 but short of 900.
+    EXPECT_EQ(sim.RunFor(500).ns(), 750u);
+    EXPECT_EQ(ran, (std::vector<std::uint64_t>{100, 250, 400}));
+
+    sim.Run();
+    EXPECT_EQ(ran, (std::vector<std::uint64_t>{100, 250, 400, 900}));
+    EXPECT_EQ(sim.Now().ns(), 900u);
 }
 
 TEST(Simulator, StopHaltsRun)
@@ -201,6 +292,39 @@ TEST(Coroutines, InfiniteProcessesAreDestroyedAtTeardown)
     // 10 iterations ran; the suspended frame was torn down without leaking
     // (verified under ASan in CI-style runs) and without crashing here.
     EXPECT_EQ(iterations, 10);
+}
+
+Task<>
+ImmediateProcess()
+{
+    co_return;
+}
+
+TEST(Coroutines, AdjacentDoneRootsAreReapedAcrossSpawns)
+{
+    Simulator sim;
+    for (int i = 0; i < 3; ++i) sim.Spawn(ImmediateProcess());
+    sim.Run();
+    // All three root frames are done but unreaped: the periodic sweep
+    // only fires every few thousand events.
+    EXPECT_EQ(sim.RootCount(), 3u);
+
+    // A spawn's two-slot reap budget counts distinct slots examined,
+    // not erases: removing a done root shifts its successor into the
+    // same slot, where it is examined for free. One spawn therefore
+    // clears the whole adjacent run of three...
+    std::vector<TimeNs> stamps;
+    sim.Spawn(DelayProcess(sim, stamps));
+    EXPECT_EQ(sim.RootCount(), 1u);
+
+    // ...and after a second spawn only the two live (not yet resumed)
+    // frames remain: three adjacent done roots never survive two
+    // spawns.
+    sim.Spawn(DelayProcess(sim, stamps));
+    EXPECT_EQ(sim.RootCount(), 2u);
+
+    sim.Run();
+    EXPECT_EQ(stamps.size(), 6u);
 }
 
 TEST(Sync, SignalWakesWaitersInFifoOrder)

@@ -104,6 +104,50 @@ TEST(Histogram, HugeValuesDoNotOverflow)
     EXPECT_NEAR(rep / expected, 1.0, 0.05);
 }
 
+TEST(Histogram, PercentileNeverFallsBelowMin)
+{
+    // 102 maps to a two-wide bucket whose midpoint representative (103)
+    // differs from the sample; the low quantile used to report the raw
+    // midpoint, which can sit outside the recorded range entirely.
+    Histogram h;
+    h.Record(102);
+    EXPECT_EQ(h.Percentile(0.0), 102u);
+    EXPECT_EQ(h.Percentile(0.5), 102u);
+    for (double q : {0.0, 0.001, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_GE(h.Percentile(q), h.Min()) << "quantile " << q;
+        EXPECT_LE(h.Percentile(q), h.Max()) << "quantile " << q;
+    }
+}
+
+TEST(Histogram, TopPercentileIsExactMax)
+{
+    // 2'000'000 lands mid-bucket at this magnitude: the old midpoint
+    // representative overshot the recorded maximum. q=1.0 must return
+    // Max() exactly, and every quantile must stay within [Min(), Max()].
+    Histogram h;
+    h.Record(1'000'000);
+    h.Record(2'000'000);
+    EXPECT_EQ(h.Percentile(1.0), 2'000'000u);
+    for (double q : {0.0, 0.5, 0.9, 0.999, 1.0}) {
+        EXPECT_GE(h.Percentile(q), 1'000'000u) << "quantile " << q;
+        EXPECT_LE(h.Percentile(q), 2'000'000u) << "quantile " << q;
+    }
+}
+
+TEST(Histogram, PercentileStaysInRangeAcrossMagnitudes)
+{
+    // Sparse extreme samples: bucket midpoints at the top magnitude sit
+    // well above max_ without clamping (width 2^57 at msb 62).
+    Histogram h;
+    h.Record(3);
+    h.Record(1ull << 62);
+    for (double q : {0.0, 0.4, 0.6, 1.0}) {
+        EXPECT_GE(h.Percentile(q), 3u);
+        EXPECT_LE(h.Percentile(q), 1ull << 62);
+    }
+    EXPECT_EQ(h.Percentile(1.0), 1ull << 62);
+}
+
 // Property sweep: representative value of the bucket containing v must be
 // within the bucket's relative-error bound for magnitudes across the range.
 class HistogramAccuracyTest
