@@ -37,6 +37,7 @@ GhostAgent::Run(AgentContext& ctx)
             continue;
         }
         ++stats_.iterations;
+        const sim::TimeNs iter_start = ctx.Sim().Now();
         co_await HandleMessages(ctx);
         co_await HandleOutcomes(ctx);
         co_await IssueDecisions(ctx);
@@ -48,6 +49,15 @@ GhostAgent::Run(AgentContext& ctx)
             co_await config_.aux_stage(ctx);
         }
         co_await ctx.Cpu().Work(config_.loop_overhead_ns);
+        // Histogram recording adds no simulator events, so enabling or
+        // windowing it never shifts a determinism fingerprint.
+        const sim::TimeNs iter_end = ctx.Sim().Now();
+        const bool windowed =
+            config_.iter_window_end > config_.iter_window_begin;
+        if (!windowed || (iter_start >= config_.iter_window_begin &&
+                          iter_end <= config_.iter_window_end)) {
+            iter_latency_.Record((iter_end - iter_start).ns());
+        }
     }
 }
 

@@ -27,6 +27,7 @@
 
 #include "ghost/policy.h"
 #include "ghost/transport.h"
+#include "stats/histogram.h"
 #include "wave/runtime.h"
 
 namespace wave::ghost {
@@ -65,9 +66,19 @@ struct AgentConfig {
      * Optional co-located stage run once per agent iteration on the
      * agent's CPU. The offloaded RPC stack plugs its packet-steering
      * stage in here (§7.3: co-locating the RPC steering policy with
-     * the scheduler on the SmartNIC).
+     * the scheduler on the SmartNIC), and the offload datapath plugs
+     * in a bounded pipeline slice (offload/pipeline.h).
      */
     std::function<sim::Task<>(AgentContext&)> aux_stage;
+
+    /**
+     * Window for the iteration-latency histogram. With the default
+     * empty window every iteration is recorded; the contention sweeps
+     * restrict it to their measure window so warmup start-up passes
+     * do not dilute the tail.
+     */
+    sim::TimeNs iter_window_begin{};
+    sim::TimeNs iter_window_end{};
 };
 
 /** Per-agent statistics. */
@@ -93,6 +104,17 @@ class GhostAgent : public Agent {
 
     const AgentStats& Stats() const { return stats_; }
     SchedPolicy& Policy() { return *policy_; }
+
+    /**
+     * Wall-to-wall duration of each agent loop pass (messages,
+     * outcomes, decisions, aux stage, overhead) — the agent's
+     * responsiveness metric under NIC-core contention. Restricted to
+     * AgentConfig::iter_window_* when set.
+     */
+    const stats::Histogram& IterationLatency() const
+    {
+        return iter_latency_;
+    }
 
   private:
     /** What the agent believes about one host core. */
@@ -125,6 +147,7 @@ class GhostAgent : public Agent {
     std::shared_ptr<SchedPolicy> policy_;
     AgentConfig config_;
     AgentStats stats_;
+    stats::Histogram iter_latency_;
     std::vector<CoreModel> cores_;  ///< indexed by host core id
 
     /**

@@ -69,6 +69,7 @@ class Cpu {
             reference_ns.ToDouble() / domain_->Speed());
         co_await sim_.Delay(scaled);
         busy_ns_ += scaled;
+        ++work_segments_;
         busy_ = false;
     }
 
@@ -77,6 +78,25 @@ class Cpu {
 
     /** Total simulated time this core spent in Work(). */
     sim::DurationNs BusyNs() const { return busy_ns_; }
+
+    /** Completed Work() calls (occupancy accounting, with BusyNs). */
+    std::uint64_t WorkSegments() const { return work_segments_; }
+
+    /**
+     * Snapshot for windowed occupancy: diff two snapshots across a
+     * measurement window and divide by its length (BusyFraction below)
+     * to get the core's utilization in that window alone.
+     */
+    struct Occupancy {
+        sim::DurationNs busy_ns = 0;
+        std::uint64_t segments = 0;
+    };
+
+    Occupancy
+    Snapshot() const
+    {
+        return Occupancy{busy_ns_, work_segments_};
+    }
 
     /** True while a Work() call is in flight. */
     bool Busy() const { return busy_; }
@@ -89,7 +109,17 @@ class Cpu {
     std::string name_;
     ClockDomain* domain_;
     sim::DurationNs busy_ns_ = 0;
+    std::uint64_t work_segments_ = 0;
     bool busy_ = false;
 };
+
+/** Busy fraction of the window [begin, end] between two snapshots. */
+inline double
+BusyFraction(const Cpu::Occupancy& begin, const Cpu::Occupancy& end,
+             sim::DurationNs window)
+{
+    if (window.ns() == 0) return 0.0;
+    return (end.busy_ns - begin.busy_ns).ToDouble() / window.ToDouble();
+}
 
 }  // namespace wave::machine

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Calibrated per-packet cycle cost model for the offload stages.
+ *
+ * Each stage charges `base_ns + ns_per_byte * payload_len` of compute at
+ * the *reference clock* (one host x86 core at max turbo, 3.5 GHz —
+ * machine::kReferenceFreq); machine::Cpu::Work scales that onto the
+ * wimpy NIC cores via the clock-domain speed ratio (0.61 by default),
+ * exactly like every other cost in the model.
+ *
+ * The numbers are derived from published per-stage figures for
+ * software datapaths on ARM SmartNIC cores (see docs/offload.md for
+ * the calibration method and sources): byte-wise stages are expressed
+ * as cycles/byte at 3.5 GHz (1 cycle = 0.2857 ns), header-only stages
+ * as a flat per-packet cost. tests/calibration_test.cc pins every
+ * constant so a drive-by edit cannot silently shift the contention
+ * sweeps.
+ */
+// wave-domain: neutral
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace wave::offload {
+
+/** Cost recipe for one stage: flat part plus a per-payload-byte part. */
+struct StageCost {
+    sim::DurationNs base_ns = 0;
+    double ns_per_byte = 0.0;
+};
+
+/**
+ * The calibrated stage table (reference-core nanoseconds).
+ *
+ *  - firewall: linear ACL match over a few dozen rules, headers only
+ *    (~140 cycles).
+ *  - load_balancer: connection-table lookup, Toeplitz hash + insert on
+ *    miss amortized in (~210 cycles).
+ *  - http_parser: request-line + header scan, ~2 cycles/byte.
+ *  - aes_ctr: software AES-128-CTR without crypto extensions,
+ *    ~10 cycles/byte plus key/counter setup.
+ *  - sha256: software SHA-256, ~13 cycles/byte plus padding/finish.
+ *  - regex_scan: DFA/literal-automaton pre-filter, ~4 cycles/byte.
+ *  - monitor: count-min-sketch + HyperLogLog update, a handful of
+ *    multiplicative hashes (~120 cycles).
+ */
+struct OffloadCosts {
+    StageCost firewall{40, 0.0};
+    StageCost load_balancer{60, 0.0};
+    StageCost http_parser{50, 0.6};
+    StageCost aes_ctr{80, 2.9};
+    StageCost sha256{60, 3.7};
+    StageCost regex_scan{30, 1.1};
+    StageCost monitor{35, 0.0};
+};
+
+// wave-hot: begin
+/** Reference-ns cost of one stage application to @p payload_len bytes. */
+inline sim::DurationNs
+StageCostNs(const StageCost& cost, std::uint32_t payload_len)
+{
+    return cost.base_ns + sim::DurationNs::FromDouble(
+                              cost.ns_per_byte *
+                              static_cast<double>(payload_len));
+}
+// wave-hot: end
+
+}  // namespace wave::offload

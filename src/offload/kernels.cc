@@ -1,0 +1,704 @@
+// wave-domain: neutral
+#include "offload/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace wave::offload {
+
+// ---------------------------------------------------------------------------
+// Toeplitz
+// ---------------------------------------------------------------------------
+
+ToeplitzKey
+DefaultRssKey()
+{
+    // The 40-byte key Microsoft published with the original RSS spec;
+    // shipped as the default by most NIC drivers since.
+    return ToeplitzKey{{0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+                        0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+                        0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+                        0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+                        0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa}};
+}
+
+// wave-hot: begin
+std::uint32_t
+ToeplitzHash(const ToeplitzKey& key, const std::uint8_t* data,
+             std::size_t len)
+{
+    WAVE_ASSERT(len <= 36, "Toeplitz input exceeds key window");
+    // The hash XORs in the 32-bit key window aligned at each *set* bit
+    // of the input. Maintain the window in the top 32 bits of a 64-bit
+    // register and refill 8 key bits per input byte.
+    std::uint64_t window =
+        (static_cast<std::uint64_t>(key.bytes[0]) << 56) |
+        (static_cast<std::uint64_t>(key.bytes[1]) << 48) |
+        (static_cast<std::uint64_t>(key.bytes[2]) << 40) |
+        (static_cast<std::uint64_t>(key.bytes[3]) << 32);
+    std::uint32_t hash = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        window |= static_cast<std::uint64_t>(key.bytes[i + 4]) << 24;
+        const std::uint8_t byte = data[i];
+        for (int bit = 7; bit >= 0; --bit) {
+            if ((byte >> bit) & 1) {
+                hash ^= static_cast<std::uint32_t>(window >> 32);
+            }
+            window <<= 1;
+        }
+    }
+    return hash;
+}
+
+std::uint32_t
+ToeplitzHashTuple(const ToeplitzKey& key, const FiveTuple& t)
+{
+    // Canonical RSS input layout: src ip, dst ip, src port, dst port,
+    // all big-endian.
+    std::uint8_t in[12];
+    in[0] = static_cast<std::uint8_t>(t.src_ip >> 24);
+    in[1] = static_cast<std::uint8_t>(t.src_ip >> 16);
+    in[2] = static_cast<std::uint8_t>(t.src_ip >> 8);
+    in[3] = static_cast<std::uint8_t>(t.src_ip);
+    in[4] = static_cast<std::uint8_t>(t.dst_ip >> 24);
+    in[5] = static_cast<std::uint8_t>(t.dst_ip >> 16);
+    in[6] = static_cast<std::uint8_t>(t.dst_ip >> 8);
+    in[7] = static_cast<std::uint8_t>(t.dst_ip);
+    in[8] = static_cast<std::uint8_t>(t.src_port >> 8);
+    in[9] = static_cast<std::uint8_t>(t.src_port);
+    in[10] = static_cast<std::uint8_t>(t.dst_port >> 8);
+    in[11] = static_cast<std::uint8_t>(t.dst_port);
+    return ToeplitzHash(key, in, sizeof(in));
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// AES-128
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+// wave-hot: begin
+inline std::uint8_t
+XTime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+// wave-hot: end
+
+}  // namespace
+
+Aes128::Aes128(const std::array<std::uint8_t, 16>& key)
+{
+    // FIPS-197 key expansion, byte-oriented: 11 round keys of 16 bytes.
+    std::memcpy(round_keys_.data(), key.data(), 16);
+    for (int i = 4; i < 44; ++i) {
+        std::uint8_t t[4];
+        std::memcpy(t, &round_keys_[static_cast<std::size_t>(i - 1) * 4], 4);
+        if (i % 4 == 0) {
+            const std::uint8_t t0 = t[0];  // RotWord + SubWord + Rcon
+            t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^
+                                             kRcon[i / 4 - 1]);
+            t[1] = kSbox[t[2]];
+            t[2] = kSbox[t[3]];
+            t[3] = kSbox[t0];
+        }
+        for (int b = 0; b < 4; ++b) {
+            round_keys_[static_cast<std::size_t>(i) * 4 +
+                        static_cast<std::size_t>(b)] =
+                round_keys_[static_cast<std::size_t>(i - 4) * 4 +
+                            static_cast<std::size_t>(b)] ^
+                t[b];
+        }
+    }
+}
+
+// wave-hot: begin
+void
+Aes128::EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    // State is column-major per FIPS-197: s[r][c] = a[c*4 + r], which
+    // is exactly the input byte order.
+    std::uint8_t a[16];
+    for (int i = 0; i < 16; ++i) a[i] = in[i] ^ round_keys_[i];
+
+    for (int round = 1; round <= 10; ++round) {
+        // SubBytes + ShiftRows fused: row r rotates left by r columns.
+        std::uint8_t b[16];
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r) {
+                b[c * 4 + r] = kSbox[a[((c + r) % 4) * 4 + r]];
+            }
+        }
+        if (round < 10) {
+            // MixColumns over each column of b.
+            for (int c = 0; c < 4; ++c) {
+                const std::uint8_t* col = &b[c * 4];
+                const std::uint8_t all =
+                    col[0] ^ col[1] ^ col[2] ^ col[3];
+                const std::uint8_t c0 = col[0];
+                a[c * 4 + 0] = col[0] ^ all ^ XTime(col[0] ^ col[1]);
+                a[c * 4 + 1] = col[1] ^ all ^ XTime(col[1] ^ col[2]);
+                a[c * 4 + 2] = col[2] ^ all ^ XTime(col[2] ^ col[3]);
+                a[c * 4 + 3] = col[3] ^ all ^ XTime(col[3] ^ c0);
+            }
+        } else {
+            std::memcpy(a, b, 16);
+        }
+        const std::uint8_t* rk =
+            &round_keys_[static_cast<std::size_t>(round) * 16];
+        for (int i = 0; i < 16; ++i) a[i] ^= rk[i];
+    }
+    std::memcpy(out, a, 16);
+}
+
+void
+Aes128::CtrCrypt(const std::array<std::uint8_t, 16>& counter,
+                 std::uint8_t* data, std::size_t len) const
+{
+    std::uint8_t ctr[16];
+    std::memcpy(ctr, counter.data(), 16);
+    std::uint8_t keystream[16];
+    std::size_t off = 0;
+    while (off < len) {
+        EncryptBlock(ctr, keystream);
+        const std::size_t n = len - off < 16 ? len - off : 16;
+        for (std::size_t i = 0; i < n; ++i) {
+            data[off + i] ^= keystream[i];
+        }
+        off += n;
+        // 128-bit big-endian increment.
+        for (int i = 15; i >= 0; --i) {
+            if (++ctr[i] != 0) break;
+        }
+    }
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kShaK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+// wave-hot: begin
+inline std::uint32_t
+Rotr(std::uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+// wave-hot: end
+
+}  // namespace
+
+void
+Sha256::Reset()
+{
+    state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+              0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    total_len_ = 0;
+    buffered_ = 0;
+}
+
+// wave-hot: begin
+void
+Sha256::Compress(const std::uint8_t block[64])
+{
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        const std::uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^
+                                 (w[i - 15] >> 3);
+        const std::uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^
+                                 (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2],
+                  d = state_[3], e = state_[4], f = state_[5],
+                  g = state_[6], h = state_[7];
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+        const std::uint32_t ch = (e & f) ^ (~e & g);
+        const std::uint32_t t1 = h + s1 + ch + kShaK[i] + w[i];
+        const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void
+Sha256::Update(const std::uint8_t* data, std::size_t len)
+{
+    total_len_ += len;
+    while (len > 0) {
+        if (buffered_ == 0 && len >= 64) {
+            Compress(data);
+            data += 64;
+            len -= 64;
+            continue;
+        }
+        const std::size_t n = len < 64 - buffered_ ? len : 64 - buffered_;
+        std::memcpy(buffer_.data() + buffered_, data, n);
+        buffered_ += n;
+        data += n;
+        len -= n;
+        if (buffered_ == 64) {
+            Compress(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+}
+
+std::array<std::uint8_t, 32>
+Sha256::Finish()
+{
+    const std::uint64_t bit_len = total_len_ * 8;
+    const std::uint8_t pad = 0x80;
+    Update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (buffered_ != 56) Update(&zero, 1);
+    // Length bytes complete the final block directly (bit_len snapshots
+    // the message length from before the padding Updates above).
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i) {
+        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    std::memcpy(buffer_.data() + 56, len_be, 8);
+    Compress(buffer_.data());
+    std::array<std::uint8_t, 32> digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[static_cast<std::size_t>(i * 4)] =
+            static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >>
+                                      24);
+        digest[static_cast<std::size_t>(i * 4 + 1)] =
+            static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >>
+                                      16);
+        digest[static_cast<std::size_t>(i * 4 + 2)] =
+            static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >>
+                                      8);
+        digest[static_cast<std::size_t>(i * 4 + 3)] =
+            static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+    }
+    return digest;
+}
+// wave-hot: end
+
+std::array<std::uint8_t, 32>
+Sha256::Digest(const std::uint8_t* data, std::size_t len)
+{
+    Sha256 h;
+    h.Update(data, len);
+    return h.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// ACL
+// ---------------------------------------------------------------------------
+
+AclTable::AclTable(std::vector<AclRule> rules, bool default_allow)
+    : rules_(std::move(rules)), default_allow_(default_allow)
+{}
+
+// wave-hot: begin
+AclTable::Verdict
+AclTable::Lookup(const FiveTuple& t) const
+{
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const AclRule& r = rules_[i];
+        if ((t.src_ip & r.src_mask) != (r.src_addr & r.src_mask)) continue;
+        if ((t.dst_ip & r.dst_mask) != (r.dst_addr & r.dst_mask)) continue;
+        if (t.dst_port < r.dst_port_lo || t.dst_port > r.dst_port_hi) {
+            continue;
+        }
+        if (r.proto != 0 && r.proto != t.proto) continue;
+        return Verdict{r.allow, static_cast<int>(i)};
+    }
+    return Verdict{default_allow_, -1};
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// HTTP parser
+// ---------------------------------------------------------------------------
+
+// wave-hot: begin
+bool
+ParseHttpRequest(const std::uint8_t* data, std::size_t len,
+                 HttpRequest* out)
+{
+    *out = HttpRequest{};
+    std::size_t i = 0;
+
+    // Method token up to the first space.
+    const std::size_t method_begin = i;
+    while (i < len && data[i] != ' ' && data[i] != '\r' && data[i] != '\n') {
+        ++i;
+    }
+    if (i >= len || data[i] != ' ' || i == method_begin) return false;
+    const std::size_t method_len = i - method_begin;
+    const char* m = reinterpret_cast<const char*>(data + method_begin);
+    if (method_len == 3 && std::memcmp(m, "GET", 3) == 0) {
+        out->method = HttpMethod::kGet;
+    } else if (method_len == 4 && std::memcmp(m, "POST", 4) == 0) {
+        out->method = HttpMethod::kPost;
+    } else if (method_len == 3 && std::memcmp(m, "PUT", 3) == 0) {
+        out->method = HttpMethod::kPut;
+    } else if (method_len == 6 && std::memcmp(m, "DELETE", 6) == 0) {
+        out->method = HttpMethod::kDelete;
+    } else if (method_len == 4 && std::memcmp(m, "HEAD", 4) == 0) {
+        out->method = HttpMethod::kHead;
+    } else {
+        out->method = HttpMethod::kOther;
+    }
+    ++i;  // consume the space
+
+    // URI token: non-empty, no embedded spaces or CR/LF.
+    const std::size_t uri_begin = i;
+    while (i < len && data[i] != ' ' && data[i] != '\r' && data[i] != '\n') {
+        ++i;
+    }
+    if (i >= len || data[i] != ' ' || i == uri_begin) return false;
+    out->uri_begin = static_cast<std::uint16_t>(uri_begin);
+    out->uri_len = static_cast<std::uint16_t>(i - uri_begin);
+    ++i;
+
+    // "HTTP/1.x" followed by CRLF.
+    if (len - i < 8 || std::memcmp(data + i, "HTTP/1.", 7) != 0) {
+        return false;
+    }
+    const std::uint8_t minor = data[i + 7];
+    if (minor < '0' || minor > '9') return false;
+    out->version_minor = static_cast<std::uint8_t>(minor - '0');
+    i += 8;
+    if (len - i < 2 || data[i] != '\r' || data[i + 1] != '\n') return false;
+    i += 2;
+
+    // Headers until the empty line.
+    while (true) {
+        if (len - i >= 2 && data[i] == '\r' && data[i + 1] == '\n') {
+            out->header_bytes = static_cast<std::uint16_t>(i + 2);
+            return true;  // end of headers
+        }
+        // "name: value\r\n" — a colon must appear before the CR.
+        std::size_t colon = i;
+        while (colon < len && data[colon] != ':' && data[colon] != '\r' &&
+               data[colon] != '\n') {
+            ++colon;
+        }
+        if (colon >= len || data[colon] != ':' || colon == i) return false;
+        std::size_t eol = colon + 1;
+        while (eol < len && data[eol] != '\r' && data[eol] != '\n') ++eol;
+        if (len - eol < 2 || data[eol] != '\r' || data[eol + 1] != '\n') {
+            return false;
+        }
+        // Content-Length is the one header value the stages consume.
+        const std::size_t name_len = colon - i;
+        if (name_len == 14) {
+            char lower[14];
+            for (std::size_t k = 0; k < 14; ++k) {
+                const std::uint8_t ch = data[i + k];
+                lower[k] = static_cast<char>(
+                    ch >= 'A' && ch <= 'Z' ? ch + ('a' - 'A') : ch);
+            }
+            if (std::memcmp(lower, "content-length", 14) == 0) {
+                std::uint32_t v = 0;
+                for (std::size_t k = colon + 1; k < eol; ++k) {
+                    const std::uint8_t ch = data[k];
+                    if (ch == ' ') continue;
+                    if (ch < '0' || ch > '9') {
+                        v = 0;
+                        break;
+                    }
+                    v = v * 10 + (ch - '0');
+                }
+                out->content_length = v;
+            }
+        }
+        ++out->num_headers;
+        i = eol + 2;
+        if (i >= len) return false;  // ran out before the empty line
+    }
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// SignatureScanner
+// ---------------------------------------------------------------------------
+
+SignatureScanner::SignatureScanner(const std::vector<std::string>& patterns)
+{
+    // Trie construction (goto function).
+    struct Node {
+        std::array<std::uint32_t, 256> next;
+        std::uint32_t fail = 0;
+        std::uint32_t ends = 0;
+        Node() { next.fill(0); }
+    };
+    std::vector<Node> trie(1);
+    for (const std::string& p : patterns) {
+        WAVE_ASSERT(!p.empty(), "empty scan pattern");
+        std::uint32_t s = 0;
+        for (const char ch : p) {
+            const auto b = static_cast<std::uint8_t>(ch);
+            if (trie[s].next[b] == 0) {
+                trie[s].next[b] = static_cast<std::uint32_t>(trie.size());
+                trie.emplace_back();
+            }
+            s = trie[s].next[b];
+        }
+        ++trie[s].ends;
+    }
+
+    // BFS: fail links, output aggregation, and goto completion, turning
+    // the trie into a dense DFA (next_ fully defined for every byte).
+    std::vector<std::uint32_t> queue;
+    queue.reserve(trie.size());
+    for (int b = 0; b < 256; ++b) {
+        const std::uint32_t s = trie[0].next[static_cast<std::size_t>(b)];
+        if (s != 0) queue.push_back(s);  // fail already 0
+    }
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const std::uint32_t u = queue[qi];
+        trie[u].ends += trie[trie[u].fail].ends;
+        for (int b = 0; b < 256; ++b) {
+            const auto bi = static_cast<std::size_t>(b);
+            const std::uint32_t v = trie[u].next[bi];
+            if (v != 0) {
+                trie[v].fail = trie[trie[u].fail].next[bi];
+                queue.push_back(v);
+            } else {
+                trie[u].next[bi] = trie[trie[u].fail].next[bi];
+            }
+        }
+    }
+
+    next_.resize(trie.size() * 256);
+    out_count_.resize(trie.size());
+    for (std::size_t s = 0; s < trie.size(); ++s) {
+        std::memcpy(&next_[s * 256], trie[s].next.data(),
+                    256 * sizeof(std::uint32_t));
+        out_count_[s] = trie[s].ends;
+    }
+}
+
+// wave-hot: begin
+std::uint32_t
+SignatureScanner::Scan(const std::uint8_t* data, std::size_t len) const
+{
+    std::uint32_t state = 0;
+    std::uint32_t hits = 0;
+    const std::uint32_t* next = next_.data();
+    const std::uint32_t* out = out_count_.data();
+    for (std::size_t i = 0; i < len; ++i) {
+        state = next[state * 256 + data[i]];
+        hits += out[state];
+    }
+    return hits;
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+// ---------------------------------------------------------------------------
+
+CountMinSketch::CountMinSketch(std::size_t width_log2, std::size_t depth)
+    : mask_((static_cast<std::size_t>(1) << width_log2) - 1), depth_(depth)
+{
+    WAVE_ASSERT(depth_ > 0);
+    cells_.assign((mask_ + 1) * depth_, 0);
+}
+
+// wave-hot: begin
+std::size_t
+CountMinSketch::RowIndex(std::size_t row, std::uint64_t key) const
+{
+    // Independent-enough row hashes: splitmix of key xor a row tag.
+    const std::uint64_t h =
+        Mix64(key ^ (0xa076'1d64'78bd'642full * (row + 1)));
+    return row * (mask_ + 1) + (static_cast<std::size_t>(h) & mask_);
+}
+
+void
+CountMinSketch::Add(std::uint64_t key, std::uint64_t count)
+{
+    for (std::size_t row = 0; row < depth_; ++row) {
+        cells_[RowIndex(row, key)] += count;
+    }
+    total_ += count;
+}
+
+std::uint64_t
+CountMinSketch::Estimate(std::uint64_t key) const
+{
+    std::uint64_t best = ~0ull;
+    for (std::size_t row = 0; row < depth_; ++row) {
+        const std::uint64_t v = cells_[RowIndex(row, key)];
+        best = v < best ? v : best;
+    }
+    return best;
+}
+// wave-hot: end
+
+// ---------------------------------------------------------------------------
+// HyperLogLog
+// ---------------------------------------------------------------------------
+
+HyperLogLog::HyperLogLog(int precision_bits)
+    : precision_bits_(precision_bits)
+{
+    WAVE_ASSERT(precision_bits_ >= 4 && precision_bits_ <= 16);
+    registers_.assign(static_cast<std::size_t>(1) << precision_bits_, 0);
+}
+
+// wave-hot: begin
+void
+HyperLogLog::Add(std::uint64_t hash)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(hash >> (64 - precision_bits_));
+    // Rank of the remaining bits: leading zeros + 1, with the sentinel
+    // bit keeping all-zero suffixes finite.
+    const std::uint64_t rest = (hash << precision_bits_) | 1;
+    const auto rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[idx]) registers_[idx] = rank;
+}
+// wave-hot: end
+
+double
+HyperLogLog::Estimate() const
+{
+    const double m = static_cast<double>(registers_.size());
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double inv_sum = 0.0;
+    std::size_t zeros = 0;
+    for (const std::uint8_t reg : registers_) {
+        inv_sum += 1.0 / static_cast<double>(1ull << reg);
+        if (reg == 0) ++zeros;
+    }
+    double estimate = alpha * m * m / inv_sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+        // Small-range correction: linear counting over empty registers.
+        estimate = m * std::log(m / static_cast<double>(zeros));
+    }
+    return estimate;
+}
+
+// ---------------------------------------------------------------------------
+// Payload materialization
+// ---------------------------------------------------------------------------
+
+// wave-hot: begin
+void
+FillRandomBytes(std::uint64_t seed, std::uint8_t* out, std::size_t len)
+{
+    // xorshift64* stream, 8 bytes per draw; seed 0 is remapped.
+    std::uint64_t x = seed ? seed : 0x9e3779b97f4a7c15ull;
+    std::size_t i = 0;
+    while (i < len) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        const std::uint64_t word = x * 0x2545f4914f6cdd1dull;
+        const std::size_t n = len - i < 8 ? len - i : 8;
+        for (std::size_t b = 0; b < n; ++b) {
+            out[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+        i += n;
+    }
+}
+
+std::size_t
+RenderHttpGet(std::uint32_t key, std::uint8_t* out, std::size_t cap)
+{
+    static constexpr char kPrefix[] = "GET /kv/";
+    static constexpr char kSuffix[] =
+        " HTTP/1.1\r\nHost: wave-lb\r\nUser-Agent: pktgen\r\n"
+        "Accept: */*\r\n\r\n";
+    char digits[10];
+    std::size_t nd = 0;
+    do {
+        digits[nd++] = static_cast<char>('0' + key % 10);
+        key /= 10;
+    } while (key != 0);
+    const std::size_t total =
+        (sizeof(kPrefix) - 1) + nd + (sizeof(kSuffix) - 1);
+    if (total > cap) return 0;
+    std::size_t i = 0;
+    std::memcpy(out + i, kPrefix, sizeof(kPrefix) - 1);
+    i += sizeof(kPrefix) - 1;
+    while (nd > 0) out[i++] = static_cast<std::uint8_t>(digits[--nd]);
+    std::memcpy(out + i, kSuffix, sizeof(kSuffix) - 1);
+    i += sizeof(kSuffix) - 1;
+    return i;
+}
+// wave-hot: end
+
+}  // namespace wave::offload

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Packet model for the offload-stage datapath (wave::offload).
+ *
+ * A Packet is a pooled, fixed-footprint record: a 5-tuple, an arrival
+ * timestamp, and an inline payload buffer (no heap indirection, so a
+ * warm PacketPool is allocation-free at line rate). Stages communicate
+ * through the small result fields instead of re-parsing bytes.
+ *
+ * Payload bytes are materialized at ingress — either a rendered HTTP
+ * request line or seeded pseudo-random filler — so the compute stages
+ * (AES-CTR, SHA-256, regex scan) have real bytes to chew on and their
+ * calibrated cycle costs model something the kernels actually do.
+ */
+// wave-domain: neutral
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace wave::offload {
+
+/** Largest payload a pooled packet carries (one MTU, no jumbo). */
+inline constexpr std::size_t kMaxPayloadBytes = 1500;
+
+/** Classic IP 5-tuple; the flow identity every stage keys on. */
+struct FiveTuple {
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t proto = 6;  ///< IPPROTO_TCP by default
+};
+
+// wave-hot: begin
+/** 64-bit flow key: a splitmix-style mix of the 5-tuple fields. */
+inline std::uint64_t
+FlowKey(const FiveTuple& t)
+{
+    std::uint64_t x = (static_cast<std::uint64_t>(t.src_ip) << 32) |
+                      static_cast<std::uint64_t>(t.dst_ip);
+    x ^= (static_cast<std::uint64_t>(t.src_port) << 24) ^
+         (static_cast<std::uint64_t>(t.dst_port) << 8) ^
+         static_cast<std::uint64_t>(t.proto);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+// wave-hot: end
+
+/** One in-flight packet; lives in a PacketPool slot, never on the heap. */
+struct Packet {
+    std::uint64_t id = 0;
+    FiveTuple tuple;
+    sim::TimeNs arrival{};
+    std::uint32_t payload_len = 0;
+
+    // Stage results (written by the stage named in the comment).
+    std::uint8_t acl_allowed = 1;   ///< firewall
+    std::uint8_t http_ok = 0;       ///< HTTP parser
+    std::uint16_t backend = 0;      ///< L3 load balancer
+    std::uint16_t scan_hits = 0;    ///< regex/signature scan
+    std::uint32_t digest = 0;       ///< SHA-256 (first word, folded)
+
+    std::array<std::uint8_t, kMaxPayloadBytes> payload;
+};
+
+/**
+ * What ingress needs to materialize one packet: flow identity plus a
+ * recipe for the payload bytes (HTTP request line or seeded filler).
+ */
+struct PacketDesc {
+    FiveTuple tuple;
+    std::uint32_t payload_len = 0;
+    std::uint64_t payload_seed = 0;
+    bool http = false;           ///< render an HTTP GET into the payload
+    std::uint32_t http_key = 0;  ///< key id in the rendered request URI
+};
+
+}  // namespace wave::offload

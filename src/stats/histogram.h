@@ -29,8 +29,21 @@ class Histogram {
     Histogram() : buckets_(kBucketTableSize, 0) {}
 
     // wave-hot: begin
-    /** Records one sample. */
-    void Record(std::uint64_t value) { RecordMany(value, 1); }
+    /**
+     * Records one sample. Branch-free: BucketIndex is a pure bit
+     * computation and the min/max updates compile to conditional
+     * moves, so the record path has no data-dependent branches for
+     * the predictor to miss at event rate.
+     */
+    void
+    Record(std::uint64_t value)
+    {
+        ++buckets_[BucketIndex(value)];
+        ++count_;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        sum_ += static_cast<double>(value);
+    }
 
     /** Records @p count identical samples. */
     void
@@ -72,7 +85,6 @@ class Histogram {
     /** Discards all samples. */
     void Reset();
 
-  private:
     // 2^kSubBucketBits sub-buckets per power of two: ~3% relative error.
     static constexpr int kSubBucketBits = 5;
     static constexpr std::uint64_t kSubBucketCount = 1ull << kSubBucketBits;
@@ -82,27 +94,29 @@ class Histogram {
         kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;
 
     // wave-hot: begin
+    /**
+     * Branch-free bucket mapping. For msb < kSubBucketBits the shift
+     * clamps to 0 and the row to 0, so small values index the exact
+     * [0, kSubBucketCount) range directly; for msb == kSubBucketBits
+     * the row is 1 and the mapping is also exact. Both agree with the
+     * historical branchy mapping (index layout is unchanged —
+     * BucketRepresentative still inverts it). `value | 1` pins msb=0
+     * for value 0 without a zero check, and std::max compiles to
+     * cmov, so the whole computation is straight-line.
+     */
     static std::size_t
     BucketIndex(std::uint64_t value)
     {
-        if (value < kSubBucketCount) {
-            return static_cast<std::size_t>(value);
-        }
-        // msb >= kSubBucketBits here. Values in [2^msb, 2^(msb+1)) map
-        // to kSubBucketCount buckets selected by the bits just below
-        // the msb.
-        const int msb = 63 - std::countl_zero(value);
-        const int shift = msb - kSubBucketBits;
-        const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
-        // Power-of-two "row": rows for msb == kSubBucketBits start
-        // right after the exact [0, kSubBucketCount) range.
+        const int msb = 63 - std::countl_zero(value | 1);
+        const int shift = std::max(msb - kSubBucketBits, 0);
         const std::size_t row =
-            static_cast<std::size_t>(msb - kSubBucketBits);
-        return kSubBucketCount + row * kSubBucketCount +
-               static_cast<std::size_t>(sub);
+            static_cast<std::size_t>(std::max(msb - kSubBucketBits + 1, 0));
+        const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
+        return row * kSubBucketCount + static_cast<std::size_t>(sub);
     }
     // wave-hot: end
 
+  private:
     static std::uint64_t BucketRepresentative(std::size_t index);
 
     std::vector<std::uint64_t> buckets_;

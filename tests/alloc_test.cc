@@ -21,6 +21,11 @@
 #include <vector>
 
 #include "channel/dma_queue.h"
+#include "machine/cpu.h"
+#include "offload/kernels.h"
+#include "offload/packet.h"
+#include "offload/pipeline.h"
+#include "offload/stage.h"
 #include "sim/alloc_guard.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -213,6 +218,123 @@ TEST(AllocGuard, DmaQueueSendPollLoopIsAllocationFreeInSteadyState)
     EXPECT_EQ(polled,
               static_cast<std::uint64_t>(kWarmupRounds + kMeasuredRounds) *
                   8);
+}
+
+offload::FiveTuple
+FlowTupleFor(std::uint32_t flow)
+{
+    return offload::FiveTuple{
+        .src_ip = 0x0a000000u | flow,
+        .dst_ip = 0xc0a80001u,
+        .src_port = static_cast<std::uint16_t>(1024 + flow),
+        .dst_port = 80,
+        .proto = 6};
+}
+
+TEST(AllocGuard, OffloadStageDispatchIsAllocationFreeInSteadyState)
+{
+    // StageChain construction allocates (ACL, automaton, sketches,
+    // connection-table reserve); dispatch must not. The warmup pass
+    // covers the full flow universe so the load balancer's connection
+    // table takes every node insert before the guard goes up — the
+    // measured passes are pure lookups plus the compute kernels over
+    // the inline payload.
+    constexpr std::uint32_t kFlows = 64;
+
+    offload::StageChainConfig cfg;
+    cfg.expected_flows = kFlows;
+    offload::StageChain chain(cfg);
+
+    auto packet = std::make_unique<offload::Packet>();
+    const auto run_pass = [&] {
+        for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+            offload::Packet& p = *packet;
+            p.tuple = FlowTupleFor(flow);
+            const std::size_t header = offload::RenderHttpGet(
+                flow, p.payload.data(), offload::kMaxPayloadBytes);
+            offload::FillRandomBytes(flow * 7919ull + 1,
+                                     p.payload.data() + header, 512);
+            p.payload_len = static_cast<std::uint32_t>(header + 512);
+            p.acl_allowed = 1;
+            p.http_ok = 0;
+            p.backend = 0;
+            p.scan_hits = 0;
+            p.digest = 0;
+            bool alive = true;
+            chain.Process(p, &alive);
+            EXPECT_TRUE(alive);
+        }
+    };
+
+    run_pass();  // warmup: every flow inserted into the connection table
+
+    AllocGuard guard;
+    for (int r = 0; r < 8; ++r) {
+        run_pass();
+    }
+    EXPECT_EQ(guard.Allocations(), 0u)
+        << "full-chain dispatch over a warm connection table should "
+           "never allocate";
+    EXPECT_EQ(chain.ConnectionCount(), kFlows);
+    EXPECT_EQ(chain.Stats(offload::StageKind::kFirewall).packets,
+              9ull * kFlows);
+}
+
+TEST(AllocGuard, OffloadPipelineLoopIsAllocationFreeInSteadyState)
+{
+    // End-to-end: Inject materializes into the pooled packet slots and
+    // the long-lived worker coroutines (spawned once by Start) pull,
+    // Work, and Route. After one round the packet pool, segment rings,
+    // Work-coroutine frame pool, and connection table are all warm;
+    // further rounds — including the event loop driving them — must
+    // stay off the heap.
+    constexpr std::uint32_t kFlows = 64;
+    constexpr int kMeasuredRounds = 6;
+
+    Simulator sim;
+    machine::ClockDomain nic(0.61);
+    machine::Cpu cpu0(sim, "nic0", &nic);
+    machine::Cpu cpu1(sim, "nic1", &nic);
+
+    offload::PipelineConfig cfg;
+    cfg.pool_size = 256;
+    cfg.chain.expected_flows = kFlows;
+    offload::OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(cpu0);
+    pipeline.AddWorker(cpu1);
+    pipeline.Start();
+
+    const auto run_round = [&] {
+        for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+            offload::PacketDesc d;
+            d.tuple = FlowTupleFor(flow);
+            d.payload_len = 600;
+            d.payload_seed = flow * 6364136223846793005ull + 11;
+            d.http = true;
+            d.http_key = flow;
+            EXPECT_TRUE(pipeline.Inject(d));
+        }
+        sim.RunFor(sim::DurationNs{2'000'000});  // drain the burst
+    };
+
+    run_round();  // warmup
+
+    AllocGuard guard;
+    for (int r = 0; r < kMeasuredRounds; ++r) {
+        run_round();
+    }
+    const std::uint64_t measured_allocs = guard.Allocations();
+
+    pipeline.RequestStop();
+    sim.RunFor(sim::DurationNs{10'000});  // workers observe the stop
+
+    EXPECT_EQ(measured_allocs, 0u)
+        << "warm Inject/worker/Retire rounds should reuse pooled "
+           "packets, ring slots, and coroutine frames";
+    EXPECT_EQ(pipeline.Stats().completed,
+              static_cast<std::uint64_t>(kFlows) * (1 + kMeasuredRounds));
+    EXPECT_EQ(pipeline.Stats().dropped, 0u);
+    EXPECT_EQ(pipeline.Pending(), 0u);
 }
 
 TEST(AllocGuard, HistogramRecordIsAllocationFreeInSteadyState)

@@ -15,6 +15,7 @@
 #include "machine/machine.h"
 #include "machine/turbo.h"
 #include "memmgr/swap_device.h"
+#include "offload/costs.h"
 #include "pcie/config.h"
 
 namespace wave {
@@ -105,6 +106,52 @@ TEST(Calibration, TurboCurveKnots)
                      3.50);
     EXPECT_DOUBLE_EQ(model.Frequency(1, /*idle_cores_deep=*/false).ghz(),
                      3.20);
+}
+
+TEST(Calibration, OffloadStageCostTable)
+{
+    // The contention sweeps (bench_offload_sweep, EXPERIMENTS.md) are a
+    // direct function of these reference-core numbers; see
+    // docs/offload.md for the derivation. Byte-wise rates are
+    // cycles/byte at the 3.5 GHz reference clock (1 cycle ≈ 0.2857 ns).
+    const offload::OffloadCosts costs;
+    EXPECT_EQ(costs.firewall.base_ns.ns(), 40);
+    EXPECT_DOUBLE_EQ(costs.firewall.ns_per_byte, 0.0);
+    EXPECT_EQ(costs.load_balancer.base_ns.ns(), 60);
+    EXPECT_DOUBLE_EQ(costs.load_balancer.ns_per_byte, 0.0);
+    EXPECT_EQ(costs.http_parser.base_ns.ns(), 50);
+    EXPECT_DOUBLE_EQ(costs.http_parser.ns_per_byte, 0.6);
+    EXPECT_EQ(costs.aes_ctr.base_ns.ns(), 80);
+    EXPECT_DOUBLE_EQ(costs.aes_ctr.ns_per_byte, 2.9);
+    EXPECT_EQ(costs.sha256.base_ns.ns(), 60);
+    EXPECT_DOUBLE_EQ(costs.sha256.ns_per_byte, 3.7);
+    EXPECT_EQ(costs.regex_scan.base_ns.ns(), 30);
+    EXPECT_DOUBLE_EQ(costs.regex_scan.ns_per_byte, 1.1);
+    EXPECT_EQ(costs.monitor.base_ns.ns(), 35);
+    EXPECT_DOUBLE_EQ(costs.monitor.ns_per_byte, 0.0);
+}
+
+TEST(Calibration, OffloadStageCostArithmetic)
+{
+    const offload::OffloadCosts costs;
+    // Header-only stages ignore the payload length entirely.
+    EXPECT_EQ(offload::StageCostNs(costs.firewall, 0).ns(), 40);
+    EXPECT_EQ(offload::StageCostNs(costs.firewall, 1500).ns(), 40);
+    // Byte-wise stages: base + rate * len, rounded via DurationNs.
+    EXPECT_EQ(offload::StageCostNs(costs.aes_ctr, 0).ns(), 80);
+    EXPECT_EQ(offload::StageCostNs(costs.aes_ctr, 1000).ns(), 80 + 2900);
+    EXPECT_EQ(offload::StageCostNs(costs.sha256, 200).ns(), 60 + 740);
+    EXPECT_EQ(offload::StageCostNs(costs.http_parser, 500).ns(), 50 + 300);
+    // A full-MTU packet through the whole default chain: the number a
+    // NIC core pays per packet in run-to-completion placement.
+    sim::DurationNs full{};
+    for (const offload::StageCost* c :
+         {&costs.firewall, &costs.load_balancer, &costs.http_parser,
+          &costs.aes_ctr, &costs.sha256, &costs.regex_scan,
+          &costs.monitor}) {
+        full = full + offload::StageCostNs(*c, 1500);
+    }
+    EXPECT_EQ(full.ns(), 355 + 12'450);
 }
 
 TEST(Calibration, SwapDeviceNvmeClassDefaults)

@@ -29,6 +29,7 @@
 #include "machine/machine.h"
 #include "machine/turbo.h"
 #include "memmgr/address_space.h"
+#include "offload/sweep.h"
 #include "pcie/msix.h"
 #include "rpc/rpc_experiment.h"
 #include "sched/vm_policy.h"
@@ -490,6 +491,65 @@ TEST(GoldenFingerprint, Fig6bRpcSloFamily)
 TEST(GoldenFingerprint, SolMemoryManagementFamily)
 {
     EXPECT_EQ(GoldenSolIteration(), 0x08d1f7ffe1ccd4b5ULL);
+}
+
+namespace {
+
+/**
+ * Offload contention-sweep family: the full deployment (host KV workers,
+ * Wave agent on NIC core 0 with a co-located datapath slice, dedicated
+ * stage workers on the other NIC cores, open-loop packet generator).
+ */
+offload::OffloadSweepConfig
+OffloadSweepFixture(double core_share, offload::Placement placement)
+{
+    offload::OffloadSweepConfig cfg;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.nic_cores = 4;
+    cfg.core_share = core_share;
+    cfg.full_rate_pps = 400'000;
+    cfg.placement = placement;
+    cfg.flows = 64;
+    cfg.offered_rps = 100'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 20'000'000;
+    cfg.drain_ns = 2'000'000;
+    cfg.seed = 4242;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(Determinism, OffloadSweepIsBitReproducible)
+{
+    const auto cfg =
+        OffloadSweepFixture(0.5, offload::Placement::kRunToCompletion);
+    const auto a = offload::RunOffloadSweep(cfg);
+    const auto b = offload::RunOffloadSweep(cfg);
+    EXPECT_EQ(a.event_hash, b.event_hash);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.packets_completed, b.packets_completed);
+    EXPECT_EQ(a.agent_iter_p99, b.agent_iter_p99);
+    EXPECT_EQ(a.get_p99, b.get_p99);
+    EXPECT_NE(a.event_hash, 0u);
+    // The datapath actually ran and the agent kept iterating under it.
+    EXPECT_GT(a.packets_completed, 0u);
+    EXPECT_GT(a.agent_iterations, 0u);
+}
+
+TEST(GoldenFingerprint, OffloadSweepRunToCompletion)
+{
+    const auto r = offload::RunOffloadSweep(
+        OffloadSweepFixture(0.5, offload::Placement::kRunToCompletion));
+    EXPECT_EQ(r.event_hash, 0xefa3ab517fddc656ULL);
+}
+
+TEST(GoldenFingerprint, OffloadSweepPipelined)
+{
+    const auto r = offload::RunOffloadSweep(
+        OffloadSweepFixture(0.75, offload::Placement::kPipelined));
+    EXPECT_EQ(r.event_hash, 0x0e49379bad42fcf0ULL);
 }
 
 TEST(GoldenFingerprint, FuzzCorpusSeeds)

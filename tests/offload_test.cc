@@ -1,0 +1,762 @@
+/**
+ * @file
+ * Unit and property tests for the wave::offload datapath: kernel
+ * known-answer vectors (FIPS-197 / SP 800-38A AES, FIPS 180-4 SHA-256,
+ * the Microsoft RSS Toeplitz suite), ACL and parser behavior, sketch
+ * error bounds, stage-chain semantics, and pipeline execution on
+ * machine::Cpu NIC cores — including the composition property that any
+ * stage order yields identical per-stage packet counts.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "offload/costs.h"
+#include "offload/kernels.h"
+#include "offload/packet.h"
+#include "offload/packetgen.h"
+#include "offload/pipeline.h"
+#include "offload/stage.h"
+#include "sim/simulator.h"
+
+namespace wave::offload {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Toeplitz (Microsoft RSS verification suite)
+// ---------------------------------------------------------------------------
+
+TEST(Toeplitz, MatchesPublishedRssVectors)
+{
+    // The two IPv4+TCP vectors from the original RSS verification
+    // suite, computed over (src ip, dst ip, src port, dst port) with
+    // the default driver key.
+    const ToeplitzKey key = DefaultRssKey();
+
+    FiveTuple a;
+    a.src_ip = 0x420995bb;  // 66.9.149.187:2794
+    a.dst_ip = 0xa18e6450;  // -> 161.142.100.80:1766
+    a.src_port = 2794;
+    a.dst_port = 1766;
+    EXPECT_EQ(ToeplitzHashTuple(key, a), 0x51ccc178u);
+
+    FiveTuple b;
+    b.src_ip = 0xc75c6f02;  // 199.92.111.2:14230
+    b.dst_ip = 0x41458c53;  // -> 65.69.140.83:4739
+    b.src_port = 14230;
+    b.dst_port = 4739;
+    EXPECT_EQ(ToeplitzHashTuple(key, b), 0xc626b0eau);
+}
+
+TEST(Toeplitz, IpOnlyVectorMatches)
+{
+    // Same suite, 8-byte (addresses only) input: 0x323e8fc2.
+    const ToeplitzKey key = DefaultRssKey();
+    const std::uint8_t in[8] = {66, 9, 149, 187, 161, 142, 100, 80};
+    EXPECT_EQ(ToeplitzHash(key, in, sizeof(in)), 0x323e8fc2u);
+}
+
+// ---------------------------------------------------------------------------
+// AES-128 known-answer tests
+// ---------------------------------------------------------------------------
+
+TEST(Aes128, Fips197AppendixCBlock)
+{
+    const std::array<std::uint8_t, 16> key = {
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+    const std::uint8_t pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                 0xcc, 0xdd, 0xee, 0xff};
+    const std::uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                     0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                     0x70, 0xb4, 0xc5, 0x5a};
+    Aes128 aes(key);
+    std::uint8_t ct[16];
+    aes.EncryptBlock(pt, ct);
+    EXPECT_EQ(std::memcmp(ct, expect, 16), 0);
+}
+
+TEST(Aes128, Sp80038aCtrVector)
+{
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, all four blocks.
+    const std::array<std::uint8_t, 16> key = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    const std::array<std::uint8_t, 16> counter = {
+        0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7,
+        0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd, 0xfe, 0xff};
+    std::uint8_t data[64] = {
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d,
+        0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57,
+        0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+        0x8e, 0x51, 0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11,
+        0xe5, 0xfb, 0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f,
+        0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b,
+        0xe6, 0x6c, 0x37, 0x10};
+    const std::uint8_t expect[64] = {
+        0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef,
+        0x68, 0x64, 0x99, 0x0d, 0xb6, 0xce, 0x98, 0x06, 0xf6, 0x6b,
+        0x79, 0x70, 0xfd, 0xff, 0x86, 0x17, 0x18, 0x7b, 0xb9, 0xff,
+        0xfd, 0xff, 0x5a, 0xe4, 0xdf, 0x3e, 0xdb, 0xd5, 0xd3, 0x5e,
+        0x5b, 0x4f, 0x09, 0x02, 0x0d, 0xb0, 0x3e, 0xab, 0x1e, 0x03,
+        0x1d, 0xda, 0x2f, 0xbe, 0x03, 0xd1, 0x79, 0x21, 0x70, 0xa0,
+        0xf3, 0x00, 0x9c, 0xee};
+    Aes128 aes(key);
+    aes.CtrCrypt(counter, data, sizeof(data));
+    EXPECT_EQ(std::memcmp(data, expect, sizeof(data)), 0);
+}
+
+TEST(Aes128, CtrIsItsOwnInverse)
+{
+    const std::array<std::uint8_t, 16> key = {1, 2, 3, 4};
+    const std::array<std::uint8_t, 16> ctr = {9, 9, 9};
+    std::uint8_t data[100];
+    FillRandomBytes(7, data, sizeof(data));
+    std::uint8_t original[100];
+    std::memcpy(original, data, sizeof(data));
+    Aes128 aes(key);
+    aes.CtrCrypt(ctr, data, sizeof(data));
+    EXPECT_NE(std::memcmp(data, original, sizeof(data)), 0);
+    aes.CtrCrypt(ctr, data, sizeof(data));
+    EXPECT_EQ(std::memcmp(data, original, sizeof(data)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 known-answer tests
+// ---------------------------------------------------------------------------
+
+std::string
+HexDigest(const std::array<std::uint8_t, 32>& digest)
+{
+    static const char* hex = "0123456789abcdef";
+    std::string out;
+    for (const std::uint8_t b : digest) {
+        out.push_back(hex[b >> 4]);
+        out.push_back(hex[b & 0xf]);
+    }
+    return out;
+}
+
+TEST(Sha256, Fips180Vectors)
+{
+    const auto* abc = reinterpret_cast<const std::uint8_t*>("abc");
+    EXPECT_EQ(HexDigest(Sha256::Digest(abc, 3)),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+
+    EXPECT_EQ(HexDigest(Sha256::Digest(nullptr, 0)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+
+    const char* two_block =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    EXPECT_EQ(HexDigest(Sha256::Digest(
+                  reinterpret_cast<const std::uint8_t*>(two_block),
+                  std::strlen(two_block))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalUpdateMatchesOneShot)
+{
+    std::uint8_t data[300];
+    FillRandomBytes(42, data, sizeof(data));
+    const auto one_shot = Sha256::Digest(data, sizeof(data));
+
+    Sha256 h;
+    h.Update(data, 1);
+    h.Update(data + 1, 63);    // completes the first block exactly
+    h.Update(data + 64, 100);  // spans blocks
+    h.Update(data + 164, 136);
+    EXPECT_EQ(HexDigest(h.Finish()), HexDigest(one_shot));
+}
+
+// ---------------------------------------------------------------------------
+// Firewall ACL
+// ---------------------------------------------------------------------------
+
+FiveTuple
+MakeTuple(std::uint32_t src_ip, std::uint16_t dst_port,
+          std::uint8_t proto = 6)
+{
+    FiveTuple t;
+    t.src_ip = src_ip;
+    t.dst_ip = 0xc0a80001;
+    t.src_port = 40000;
+    t.dst_port = dst_port;
+    t.proto = proto;
+    return t;
+}
+
+TEST(AclTable, DefaultRulesHitAndMiss)
+{
+    AclTable acl(BuildDefaultAcl(), /*default_allow=*/true);
+
+    // Unremarkable traffic falls through to the default action.
+    EXPECT_TRUE(acl.Lookup(MakeTuple(0x0a000001, 80)).allow);
+    EXPECT_EQ(acl.Lookup(MakeTuple(0x0a000001, 80)).rule, -1);
+
+    // Blocklisted /16 source.
+    EXPECT_FALSE(acl.Lookup(MakeTuple(0xc6120a0b, 80)).allow);
+
+    // Telnet and the debug port range are denied for any source...
+    EXPECT_FALSE(acl.Lookup(MakeTuple(0x0a000001, 23)).allow);
+    EXPECT_FALSE(acl.Lookup(MakeTuple(0x0a000001, 9050)).allow);
+    // ...but the debug-range rule is TCP-only.
+    EXPECT_TRUE(acl.Lookup(MakeTuple(0x0a000001, 9050, 17)).allow);
+
+    // The management /24 allow rule outranks the port denies.
+    EXPECT_TRUE(acl.Lookup(MakeTuple(0x0a630042, 23)).allow);
+    EXPECT_EQ(acl.Lookup(MakeTuple(0x0a630042, 23)).rule, 0);
+}
+
+TEST(AclTable, DefaultDenyWhenNoRuleMatches)
+{
+    AclTable acl({}, /*default_allow=*/false);
+    EXPECT_FALSE(acl.Lookup(MakeTuple(0x0a000001, 80)).allow);
+    EXPECT_EQ(acl.Lookup(MakeTuple(0x0a000001, 80)).rule, -1);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parser
+// ---------------------------------------------------------------------------
+
+bool
+Parse(const std::string& s, HttpRequest* out)
+{
+    return ParseHttpRequest(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size(), out);
+}
+
+TEST(HttpParser, ParsesWellFormedRequest)
+{
+    HttpRequest req;
+    ASSERT_TRUE(Parse("GET /kv/123 HTTP/1.1\r\n"
+                      "Host: example\r\n"
+                      "Content-Length: 42\r\n"
+                      "\r\n",
+                      &req));
+    EXPECT_EQ(req.method, HttpMethod::kGet);
+    EXPECT_EQ(req.uri_begin, 4u);
+    EXPECT_EQ(req.uri_len, 7u);
+    EXPECT_EQ(req.version_minor, 1u);
+    EXPECT_EQ(req.num_headers, 2u);
+    EXPECT_EQ(req.content_length, 42u);
+}
+
+TEST(HttpParser, ParsesRenderedPacketPayload)
+{
+    std::uint8_t buf[256];
+    const std::size_t len = RenderHttpGet(987654, buf, sizeof(buf));
+    ASSERT_GT(len, 0u);
+    HttpRequest req;
+    ASSERT_TRUE(ParseHttpRequest(buf, len, &req));
+    EXPECT_EQ(req.method, HttpMethod::kGet);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(buf) +
+                              req.uri_begin,
+                          req.uri_len),
+              "/kv/987654");
+    EXPECT_EQ(req.header_bytes, len);
+}
+
+TEST(HttpParser, RejectsMalformedInput)
+{
+    HttpRequest req;
+    // Truncated: headers never terminate.
+    EXPECT_FALSE(Parse("GET / HTTP/1.1\r\nHost: x\r\n", &req));
+    // Bare LF line endings.
+    EXPECT_FALSE(Parse("GET / HTTP/1.1\nHost: x\n\n", &req));
+    // Missing URI.
+    EXPECT_FALSE(Parse("GET  HTTP/1.1\r\n\r\n", &req));
+    // Not an HTTP/1.x version.
+    EXPECT_FALSE(Parse("GET / HTTP/2.0\r\n\r\n", &req));
+    EXPECT_FALSE(Parse("GET / FTP/1.0\r\n\r\n", &req));
+    // Header without a colon.
+    EXPECT_FALSE(Parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n", &req));
+    // Empty input and lone method.
+    EXPECT_FALSE(Parse("", &req));
+    EXPECT_FALSE(Parse("GET", &req));
+    // Random bytes (the non-HTTP packet-payload case).
+    std::uint8_t noise[200];
+    FillRandomBytes(3, noise, sizeof(noise));
+    EXPECT_FALSE(ParseHttpRequest(noise, sizeof(noise), &req));
+}
+
+TEST(HttpParser, UnknownMethodStillParses)
+{
+    HttpRequest req;
+    ASSERT_TRUE(Parse("BREW /pot HTTP/1.0\r\n\r\n", &req));
+    EXPECT_EQ(req.method, HttpMethod::kOther);
+    EXPECT_EQ(req.version_minor, 0u);
+    EXPECT_EQ(req.num_headers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Signature scanner
+// ---------------------------------------------------------------------------
+
+TEST(SignatureScanner, CountsOccurrencesIncludingOverlaps)
+{
+    SignatureScanner scanner({"abc", "bc", "c"});
+    const std::string text = "abcabc";
+    // Positions: abc x2, bc x2, c x2.
+    EXPECT_EQ(scanner.Scan(
+                  reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()),
+              6u);
+}
+
+TEST(SignatureScanner, FindsDefaultSignaturesInPayload)
+{
+    SignatureScanner scanner(BuildDefaultSignatures());
+    const std::string attack =
+        "GET /../../etc/passwd HTTP/1.1\r\nX: <script>alert(1)</script>\r\n";
+    // "../.." once (overlap at offset 5 shares the middle ".."),
+    // "/etc/passwd" once, "<script>" once.
+    EXPECT_EQ(scanner.Scan(
+                  reinterpret_cast<const std::uint8_t*>(attack.data()),
+                  attack.size()),
+              3u);
+
+    const std::string benign = "GET /kv/42 HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(scanner.Scan(
+                  reinterpret_cast<const std::uint8_t*>(benign.data()),
+                  benign.size()),
+              0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sketches
+// ---------------------------------------------------------------------------
+
+TEST(CountMinSketch, NeverUnderestimatesAndBoundsError)
+{
+    CountMinSketch cms(/*width_log2=*/12, /*depth=*/4);
+    // A skewed stream: key k added k times for k in [1, 200].
+    for (std::uint64_t k = 1; k <= 200; ++k) {
+        cms.Add(k, k);
+    }
+    const std::uint64_t total = cms.TotalAdded();
+    EXPECT_EQ(total, 200ull * 201 / 2);
+    for (std::uint64_t k = 1; k <= 200; ++k) {
+        const std::uint64_t est = cms.Estimate(k);
+        EXPECT_GE(est, k) << "key " << k;  // one-sided error
+        // Standard CMS bound: overestimate < 2 * total / width with
+        // probability 1 - (1/2)^depth per key; this stream is fixed and
+        // comfortably inside it.
+        EXPECT_LE(est, k + 2 * total / cms.Width()) << "key " << k;
+    }
+}
+
+TEST(HyperLogLog, EstimatesWithinTenPercent)
+{
+    HyperLogLog hll(/*precision_bits=*/10);
+    constexpr std::uint64_t kDistinct = 20'000;
+    for (std::uint64_t i = 0; i < kDistinct; ++i) {
+        hll.Add(Mix64(i));
+        hll.Add(Mix64(i));  // duplicates must not inflate the estimate
+    }
+    const double est = hll.Estimate();
+    EXPECT_NEAR(est / static_cast<double>(kDistinct), 1.0, 0.10);
+}
+
+TEST(HyperLogLog, SmallRangeIsNearExact)
+{
+    HyperLogLog hll(10);
+    for (std::uint64_t i = 0; i < 50; ++i) hll.Add(Mix64(i));
+    EXPECT_NEAR(hll.Estimate(), 50.0, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stage chain
+// ---------------------------------------------------------------------------
+
+Packet
+MakePacket(const FiveTuple& t, std::uint32_t payload_len,
+           std::uint64_t seed = 1, bool http = false)
+{
+    Packet p;
+    p.id = 1;
+    p.tuple = t;
+    p.payload_len = payload_len;
+    if (http) {
+        const std::size_t header =
+            RenderHttpGet(7, p.payload.data(), kMaxPayloadBytes);
+        if (payload_len < header) {
+            p.payload_len = static_cast<std::uint32_t>(header);
+        } else if (payload_len > header) {
+            FillRandomBytes(seed, p.payload.data() + header,
+                            payload_len - header);
+        }
+    } else {
+        FillRandomBytes(seed, p.payload.data(), payload_len);
+    }
+    return p;
+}
+
+TEST(StageChain, FullChainAnnotatesPacket)
+{
+    StageChain chain(StageChainConfig{});
+    Packet p = MakePacket(MakeTuple(0x0a000001, 80), 400, 1, /*http=*/true);
+    bool alive = false;
+    const sim::DurationNs cost = chain.Process(p, &alive);
+    EXPECT_TRUE(alive);
+    EXPECT_EQ(p.acl_allowed, 1u);
+    EXPECT_EQ(p.http_ok, 1u);
+    EXPECT_NE(p.digest, 0u);
+    EXPECT_GT(cost.ns(), 0u);
+    for (const StageKind kind : kAllStages) {
+        EXPECT_EQ(chain.Stats(kind).packets, 1u) << StageName(kind);
+    }
+    EXPECT_EQ(chain.ConnectionCount(), 1u);
+}
+
+TEST(StageChain, FirewallDenyTerminatesEarly)
+{
+    StageChain chain(StageChainConfig{});
+    Packet p = MakePacket(MakeTuple(0xc6120001, 80), 100);
+    bool alive = true;
+    chain.Process(p, &alive);
+    EXPECT_FALSE(alive);
+    EXPECT_EQ(p.acl_allowed, 0u);
+    EXPECT_EQ(chain.Stats(StageKind::kFirewall).denied, 1u);
+    // Nothing downstream of the firewall saw the packet.
+    EXPECT_EQ(chain.Stats(StageKind::kLoadBalancer).packets, 0u);
+    EXPECT_EQ(chain.Stats(StageKind::kMonitor).packets, 0u);
+}
+
+TEST(StageChain, LoadBalancerIsSticky)
+{
+    StageChainConfig cfg;
+    cfg.stages = {StageKind::kLoadBalancer};
+    StageChain chain(cfg);
+
+    const FiveTuple flow_a = MakeTuple(0x0a000001, 80);
+    Packet p1 = MakePacket(flow_a, 64);
+    Packet p2 = MakePacket(flow_a, 64, 2);
+    bool alive = false;
+    chain.Process(p1, &alive);
+    chain.Process(p2, &alive);
+    EXPECT_EQ(p1.backend, p2.backend);  // same flow, same backend
+    EXPECT_EQ(chain.Stats(StageKind::kLoadBalancer).new_flows, 1u);
+    EXPECT_EQ(chain.Stats(StageKind::kLoadBalancer).sticky_hits, 1u);
+
+    // A different flow may land elsewhere, and adds a table entry.
+    Packet p3 = MakePacket(MakeTuple(0x0a0000ff, 81), 64);
+    chain.Process(p3, &alive);
+    EXPECT_EQ(chain.Stats(StageKind::kLoadBalancer).new_flows, 2u);
+    EXPECT_EQ(chain.ConnectionCount(), 2u);
+}
+
+TEST(StageChain, CostMatchesCalibratedTable)
+{
+    // cost = sum over stages of base + per_byte * len, independent of
+    // payload contents.
+    StageChainConfig cfg;
+    cfg.stages = {StageKind::kFirewall, StageKind::kAesCtr};
+    StageChain chain(cfg);
+    Packet p = MakePacket(MakeTuple(0x0a000001, 80), 1000);
+    bool alive = false;
+    const sim::DurationNs cost = chain.Process(p, &alive);
+    const OffloadCosts table;
+    const sim::DurationNs expect = StageCostNs(table.firewall, 1000) +
+                                   StageCostNs(table.aes_ctr, 1000);
+    EXPECT_EQ(cost, expect);
+}
+
+TEST(StageChain, AnyStageOrderYieldsIdenticalPacketCounts)
+{
+    // The composition property: with a deny-free workload every stage
+    // sees every packet exactly once regardless of chain order. Byte
+    // order still matters for *contents* (AES before the parser
+    // scrambles the request), but never for packet/byte counts.
+    std::vector<std::vector<StageKind>> orders;
+    std::vector<StageKind> base(kAllStages.begin(), kAllStages.end());
+    for (std::size_t rot = 0; rot < base.size(); ++rot) {
+        std::vector<StageKind> order = base;
+        std::rotate(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(rot),
+                    order.end());
+        orders.push_back(order);
+    }
+    std::vector<StageKind> reversed(base.rbegin(), base.rend());
+    orders.push_back(reversed);
+
+    for (const auto& order : orders) {
+        StageChainConfig cfg;
+        cfg.stages = order;
+        StageChain chain(cfg);
+        // 40 packets over 8 flows, mixed HTTP/noise payloads, none of
+        // which match a deny rule.
+        std::uint64_t expected_bytes = 0;
+        for (int i = 0; i < 40; ++i) {
+            const auto flow = static_cast<std::uint32_t>(i % 8);
+            Packet p = MakePacket(MakeTuple(0x0a000100 + flow, 80),
+                                  100 + static_cast<std::uint32_t>(i) * 7,
+                                  static_cast<std::uint64_t>(i) + 1,
+                                  /*http=*/i % 2 == 0);
+            expected_bytes += p.payload_len;
+            bool alive = false;
+            chain.Process(p, &alive);
+            EXPECT_TRUE(alive);
+        }
+        for (const StageKind kind : kAllStages) {
+            EXPECT_EQ(chain.Stats(kind).packets, 40u)
+                << StageName(kind) << " with order[0]="
+                << StageName(order[0]);
+            EXPECT_EQ(chain.Stats(kind).bytes, expected_bytes)
+                << StageName(kind);
+        }
+        EXPECT_EQ(chain.ConnectionCount(), 8u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline on NIC cores
+// ---------------------------------------------------------------------------
+
+PacketDesc
+MakeDesc(std::uint32_t flow, std::uint32_t len, bool http = false)
+{
+    PacketDesc d;
+    d.tuple = FlowTuple(flow);
+    d.payload_len = len;
+    d.payload_seed = flow + 1;
+    d.http = http;
+    d.http_key = flow;
+    return d;
+}
+
+TEST(OffloadPipeline, RunToCompletionProcessesAllPackets)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 4;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.pool_size = 64;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(machine.NicCpu(1));
+    pipeline.AddWorker(machine.NicCpu(2));
+    pipeline.Start();
+    pipeline.SetMeasureWindow(sim::TimeNs{0}, sim::TimeNs{1'000'000'000});
+    EXPECT_EQ(pipeline.NumSegments(), 1u);
+
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        EXPECT_TRUE(pipeline.Inject(MakeDesc(i % 5, 200, i % 2 == 0)));
+    }
+    sim.RunFor(sim::DurationNs{10'000'000});
+
+    EXPECT_EQ(pipeline.Stats().injected, 50u);
+    EXPECT_EQ(pipeline.Stats().completed, 50u);
+    EXPECT_EQ(pipeline.Stats().denied, 0u);
+    EXPECT_EQ(pipeline.Pending(), 0u);
+    EXPECT_EQ(pipeline.Latency().Count(), 50u);
+    EXPECT_GT(pipeline.Latency().Max(), 0u);
+    EXPECT_EQ(pipeline.Chain().Stats(StageKind::kMonitor).packets, 50u);
+    // Both workers pulled from the shared ring.
+    EXPECT_GT(machine.NicCpu(1).WorkSegments(), 0u);
+    EXPECT_GT(machine.NicCpu(2).WorkSegments(), 0u);
+}
+
+TEST(OffloadPipeline, PipelinedPlacementSplitsTheChain)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 4;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.placement = Placement::kPipelined;
+    cfg.pool_size = 64;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(machine.NicCpu(1));
+    pipeline.AddWorker(machine.NicCpu(2));
+    pipeline.AddWorker(machine.NicCpu(3));
+    pipeline.Start();
+    pipeline.SetMeasureWindow(sim::TimeNs{0}, sim::TimeNs{1'000'000'000});
+    EXPECT_EQ(pipeline.NumSegments(), 3u);
+
+    for (std::uint32_t i = 0; i < 30; ++i) {
+        EXPECT_TRUE(pipeline.Inject(MakeDesc(i % 4, 300)));
+    }
+    sim.RunFor(sim::DurationNs{10'000'000});
+
+    EXPECT_EQ(pipeline.Stats().completed, 30u);
+    EXPECT_EQ(pipeline.Pending(), 0u);
+    // Every stage still saw every packet exactly once.
+    for (const StageKind kind : kAllStages) {
+        EXPECT_EQ(pipeline.Chain().Stats(kind).packets, 30u)
+            << StageName(kind);
+    }
+}
+
+TEST(OffloadPipeline, PoolExhaustionDropsAtIngress)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 2;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.pool_size = 8;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(machine.NicCpu(1));
+    pipeline.Start();
+
+    // No simulator time passes between injects: the pool fills.
+    int accepted = 0;
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        if (pipeline.Inject(MakeDesc(i, 100))) ++accepted;
+    }
+    EXPECT_EQ(accepted, 8);
+    EXPECT_EQ(pipeline.Stats().dropped, 4u);
+
+    sim.RunFor(sim::DurationNs{10'000'000});
+    EXPECT_EQ(pipeline.Stats().completed, 8u);
+    // The pool recycled: new ingress is accepted again.
+    EXPECT_TRUE(pipeline.Inject(MakeDesc(0, 100)));
+    sim.RunFor(sim::DurationNs{10'000'000});
+    EXPECT_EQ(pipeline.Stats().completed, 9u);
+}
+
+TEST(OffloadPipeline, DeniedPacketsRetireWithoutCompleting)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 2;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.pool_size = 16;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(machine.NicCpu(1));
+    pipeline.Start();
+    pipeline.SetMeasureWindow(sim::TimeNs{0}, sim::TimeNs{1'000'000'000});
+
+    PacketDesc blocked = MakeDesc(0, 100);
+    blocked.tuple.src_ip = 0xc6120001;  // blocklisted /16
+    EXPECT_TRUE(pipeline.Inject(blocked));
+    EXPECT_TRUE(pipeline.Inject(MakeDesc(1, 100)));
+    sim.RunFor(sim::DurationNs{10'000'000});
+
+    EXPECT_EQ(pipeline.Stats().denied, 1u);
+    EXPECT_EQ(pipeline.Stats().completed, 1u);
+    EXPECT_EQ(pipeline.Latency().Count(), 1u);  // denies aren't latencies
+    EXPECT_EQ(pipeline.Pending(), 0u);
+}
+
+TEST(OffloadPipeline, ColocatedSliceProcessesBoundedBatch)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 2;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.pool_size = 32;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.Start();  // no dedicated workers: only the slice drains
+
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(pipeline.Inject(MakeDesc(i, 100)));
+    }
+
+    sim.Spawn([](OffloadPipeline& pl, machine::Cpu& cpu) -> Task<> {
+        co_await pl.RunColocatedSlice(cpu, 4);  // budget caps the batch
+    }(pipeline, machine.NicCpu(0)));
+    sim.Run();
+    EXPECT_EQ(pipeline.Stats().completed, 4u);
+    EXPECT_EQ(pipeline.Pending(), 6u);
+
+    // Two more slices drain the rest; an empty ring is a cheap no-op.
+    sim.Spawn([](OffloadPipeline& pl, machine::Cpu& cpu) -> Task<> {
+        co_await pl.RunColocatedSlice(cpu, 4);
+        co_await pl.RunColocatedSlice(cpu, 4);
+        co_await pl.RunColocatedSlice(cpu, 4);
+    }(pipeline, machine.NicCpu(0)));
+    sim.Run();
+    EXPECT_EQ(pipeline.Stats().completed, 10u);
+    EXPECT_EQ(pipeline.Pending(), 0u);
+}
+
+TEST(OffloadPipeline, OccupancySnapshotsBracketStageWork)
+{
+    Simulator sim;
+    machine::MachineConfig mc;
+    mc.nic_cores = 2;
+    machine::Machine machine(sim, mc);
+
+    PipelineConfig cfg;
+    cfg.pool_size = 32;
+    OffloadPipeline pipeline(sim, cfg);
+    pipeline.AddWorker(machine.NicCpu(1));
+    pipeline.Start();
+
+    const machine::Cpu::Occupancy before = machine.NicCpu(1).Snapshot();
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        ASSERT_TRUE(pipeline.Inject(MakeDesc(i, 500)));
+    }
+    sim.RunFor(sim::DurationNs{1'000'000});
+    const machine::Cpu::Occupancy after = machine.NicCpu(1).Snapshot();
+
+    EXPECT_EQ(after.segments - before.segments, 16u);
+    const double busy =
+        machine::BusyFraction(before, after, sim::DurationNs{1'000'000});
+    EXPECT_GT(busy, 0.0);
+    EXPECT_LE(busy, 1.0);
+    // 16 packets of 500B through all 7 stages on a 0.61x NIC core:
+    // roughly (sum of bases + 8.3 ns/B * 500) / 0.61 per packet.
+    EXPECT_GT(after.busy_ns - before.busy_ns, sim::DurationNs{50'000});
+}
+
+// ---------------------------------------------------------------------------
+// Packet generator
+// ---------------------------------------------------------------------------
+
+TEST(PacketGenerator, OfferedRateAndDeterminism)
+{
+    auto run = [](std::uint64_t seed) {
+        Simulator sim;
+        machine::MachineConfig mc;
+        mc.nic_cores = 3;
+        machine::Machine machine(sim, mc);
+        PipelineConfig cfg;
+        cfg.pool_size = 1024;
+        OffloadPipeline pipeline(sim, cfg);
+        pipeline.AddWorker(machine.NicCpu(1));
+        pipeline.AddWorker(machine.NicCpu(2));
+        pipeline.Start();
+        PacketGenConfig pg;
+        pg.rate_pps = 100'000;
+        pg.flows = 16;
+        pg.end_time = sim::TimeNs{10'000'000};
+        pg.seed = seed;
+        sim.Spawn(RunPacketGenerator(sim, pipeline, pg));
+        sim.RunUntil(sim::TimeNs{20'000'000});
+        return std::pair<std::uint64_t, std::uint64_t>(
+            pipeline.Stats().injected, sim.EventHash());
+    };
+
+    const auto [injected, hash] = run(7);
+    // 100k pps over 10 ms -> ~1000 packets (Poisson, generous margin).
+    EXPECT_GT(injected, 800u);
+    EXPECT_LT(injected, 1200u);
+
+    // Same seed, bit-identical run; different seed, different schedule.
+    EXPECT_EQ(run(7), (std::pair<std::uint64_t, std::uint64_t>(injected,
+                                                               hash)));
+    EXPECT_NE(run(8).second, hash);
+}
+
+}  // namespace
+}  // namespace wave::offload

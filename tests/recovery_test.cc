@@ -15,6 +15,7 @@
 
 #include "fuzz/runner.h"
 #include "fuzz/scenario.h"
+#include "offload/sweep.h"
 #include "sim/inject.h"
 #include "sim/random.h"
 
@@ -128,6 +129,91 @@ TEST(Recovery, FallbackArrivesWithinBoundedVirtualTime)
     EXPECT_GE(r.fallback_at, at.ns());
     EXPECT_LE(r.fallback_at, bound)
         << "watchdog took too long to declare the agent dead";
+}
+
+TEST(Recovery, NicSlowdownPlusAgentStallTripsWatchdogUnderOffloadLoad)
+{
+    // Fault interplay through the offload-sweep wiring: the NIC domain
+    // drops to quarter speed (backing up the datapath rings and
+    // stretching every agent iteration) and, inside that window, the
+    // agent wedges for longer than the watchdog timeout. The dog must
+    // still fire on schedule — a slow NIC is degraded, a silent agent
+    // is dead — and the handoff must not strand datapath packets:
+    // dedicated workers keep draining while scheduling fails over to
+    // the host fallback.
+    offload::OffloadSweepConfig cfg;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.nic_cores = 4;
+    cfg.core_share = 0.5;
+    cfg.full_rate_pps = 400'000;
+    cfg.flows = 64;
+    cfg.offered_rps = 100'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 30'000'000;
+    cfg.drain_ns = 8'000'000;
+    cfg.seed = 777;
+    cfg.supervise = true;
+    cfg.watchdog_timeout_ns = 4'000'000;
+    cfg.watchdog_check_ns = 250'000;
+
+    constexpr std::uint64_t kStallAt = 10'000'000;
+    cfg.faults.push_back({FaultKind::kNicSlowdown,
+                          sim::TimeNs{8'000'000}, 15'000'000,
+                          /*param=*/250});  // quarter speed
+    cfg.faults.push_back({FaultKind::kAgentStall, sim::TimeNs{kStallAt},
+                          5 * cfg.watchdog_timeout_ns, 0});
+
+    const offload::OffloadSweepResult r = offload::RunOffloadSweep(cfg);
+
+    EXPECT_EQ(r.watchdog_expiries, 1u)
+        << "the stall outlasts the timeout; slowdown alone must not "
+           "mask it";
+    EXPECT_TRUE(r.fallback_active);
+    // Liveness evidence freezes at the stall; timeout of grace plus the
+    // check/feed quantization steps bound the failover.
+    EXPECT_GE(r.fallback_at_ns, kStallAt);
+    EXPECT_LE(r.fallback_at_ns,
+              kStallAt + cfg.watchdog_timeout_ns + 3 * cfg.watchdog_check_ns)
+        << "watchdog took too long to declare the wedged agent dead";
+
+    // No deadlock: the datapath backlog built up during the slowdown
+    // drains once the domain recovers, and the KV workload keeps
+    // completing through the fallback scheduler.
+    EXPECT_GT(r.packets_completed, 0u);
+    EXPECT_EQ(r.packets_dropped, 0u);
+    EXPECT_EQ(r.packets_pending, 0u)
+        << "packets stranded in the pipeline after fault recovery";
+    EXPECT_GT(r.completed, 0u);
+}
+
+TEST(Recovery, OffloadSweepSupervisorIsQuietWithoutFaults)
+{
+    // The false-positive guard for the test above: the identical
+    // deployment under the identical datapath load, minus the faults,
+    // must never trip the dog — offload contention alone is not a
+    // liveness failure.
+    offload::OffloadSweepConfig cfg;
+    cfg.worker_cores = 4;
+    cfg.num_workers = 16;
+    cfg.nic_cores = 4;
+    cfg.core_share = 0.5;
+    cfg.full_rate_pps = 400'000;
+    cfg.flows = 64;
+    cfg.offered_rps = 100'000;
+    cfg.warmup_ns = 5'000'000;
+    cfg.measure_ns = 30'000'000;
+    cfg.drain_ns = 8'000'000;
+    cfg.seed = 777;
+    cfg.supervise = true;
+    cfg.watchdog_timeout_ns = 4'000'000;
+    cfg.watchdog_check_ns = 250'000;
+
+    const offload::OffloadSweepResult r = offload::RunOffloadSweep(cfg);
+    EXPECT_EQ(r.watchdog_expiries, 0u);
+    EXPECT_FALSE(r.fallback_active);
+    EXPECT_GT(r.packets_completed, 0u);
+    EXPECT_EQ(r.packets_pending, 0u);
 }
 
 }  // namespace

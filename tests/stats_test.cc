@@ -169,6 +169,53 @@ INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramAccuracyTest,
                                            123'456'789ull,
                                            98'765'432'101ull));
 
+// Reference implementation of the historical branchy bucket mapping.
+// The branch-free BucketIndex must agree with it everywhere: the table
+// layout (and with it BucketRepresentative, golden percentiles, and
+// merged histograms) is frozen by this equivalence.
+std::size_t
+ReferenceBucketIndex(std::uint64_t value)
+{
+    constexpr int kBits = 5;
+    constexpr std::uint64_t kSub = 1ull << kBits;
+    if (value < kSub) return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - kBits;
+    const std::uint64_t sub = (value >> shift) & (kSub - 1);
+    const std::size_t row = static_cast<std::size_t>(msb - kBits);
+    return kSub + row * kSub + static_cast<std::size_t>(sub);
+}
+
+TEST(Histogram, BranchFreeBucketIndexMatchesReference)
+{
+    // Exhaustive over the exact range and the first two msb rows,
+    // where the clamped shift/row terms change behavior.
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        ASSERT_EQ(Histogram::BucketIndex(v), ReferenceBucketIndex(v))
+            << "value " << v;
+    }
+    // Power-of-two edges and their neighbors across all magnitudes.
+    for (int msb = 5; msb < 64; ++msb) {
+        const std::uint64_t base = 1ull << msb;
+        for (std::uint64_t v :
+             {base - 1, base, base + 1, base + (base >> 1),
+              base + (base - 1)}) {
+            ASSERT_EQ(Histogram::BucketIndex(v), ReferenceBucketIndex(v))
+                << "value " << v;
+        }
+    }
+    // A deterministic pseudo-random sweep across the full 64-bit range.
+    std::uint64_t v = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 100'000; ++i) {
+        v ^= v << 13;
+        v ^= v >> 7;
+        v ^= v << 17;
+        ASSERT_EQ(Histogram::BucketIndex(v), ReferenceBucketIndex(v))
+            << "value " << v;
+    }
+    EXPECT_EQ(Histogram::BucketIndex(~0ull), ReferenceBucketIndex(~0ull));
+}
+
 TEST(Table, RendersAlignedColumns)
 {
     Table t({"load", "p99 (us)"});
