@@ -1,4 +1,5 @@
 // wave-domain: harness
+// wave-shared(process-wide allocation counters behind global operator new/delete; harness observability only, never read by model code)
 #include "sim/alloc_guard.h"
 
 #include <cstdlib>

@@ -1,5 +1,6 @@
 // wave-domain: neutral
 // wave-hot
+// wave-shared(per-process frame-recycling free lists behind global operator new/delete; single-threaded by design today, and a sharded executor gives each shard its own arena before frames are shared)
 #include "sim/frame_pool.h"
 
 #include <new>

@@ -23,6 +23,7 @@ struct TraceState {
 TraceState&
 State()
 {
+    // wave-analyze: allow(W303 trace-config singleton: written at startup from WAVE_TRACE and Enable() calls, read-only while the simulation runs, never part of the fingerprinted model state)
     static TraceState state;
     return state;
 }

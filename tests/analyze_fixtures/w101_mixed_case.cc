@@ -1,0 +1,18 @@
+// Fixture: sized vector local with a CamelCase name in a hot region -> W101.
+// The first sized-buffer pattern only matched snake_case identifiers,
+// so a local spelled like a type escaped the rule.
+// wave-domain: neutral
+// wave-hot
+
+#include <vector>
+
+namespace wave::fixture {
+
+inline int
+SumScratch()
+{
+    std::vector<int> ScratchBuf(64);
+    return static_cast<int>(ScratchBuf.size());
+}
+
+}  // namespace wave::fixture

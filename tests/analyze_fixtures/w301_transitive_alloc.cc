@@ -1,0 +1,28 @@
+// Fixture: hot call site reaches an allocating cold helper two hops
+// away -> W301. Per-file W101 stays silent (the allocation line is
+// cold); only the cross-TU reachability pass sees the chain.
+// wave-domain: neutral
+
+namespace wave::fixture {
+
+inline int*
+GrowPool()
+{
+    return new int[16];
+}
+
+inline int*
+Acquire()
+{
+    return GrowPool();
+}
+
+// wave-hot: begin
+inline int*
+PerEvent()
+{
+    return Acquire();
+}
+// wave-hot: end
+
+}  // namespace wave::fixture

@@ -1,0 +1,14 @@
+// Fixture: host-shard file reads mutable state owned by the nic shard
+// without crossing the pcie seam -> W302. The owning definition lives
+// in w302_closure_leak_b.cc; analyze both files in one invocation.
+// wave-domain: host
+
+namespace wave::fixture {
+
+inline int
+ReadRemote()
+{
+    return g_nic_counter;
+}
+
+}  // namespace wave::fixture

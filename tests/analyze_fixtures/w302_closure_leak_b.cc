@@ -1,0 +1,10 @@
+// Fixture support: the nic-shard owner of the mutable counter that
+// w302_closure_leak.cc reads across the shard boundary.
+// wave-domain: nic
+
+namespace wave::fixture {
+
+// wave-analyze: allow(W303 fixture-planted mutable state; the violation under test is the cross-shard read in w302_closure_leak.cc)
+int g_nic_counter = 0;
+
+}  // namespace wave::fixture

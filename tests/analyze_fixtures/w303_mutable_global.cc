@@ -1,0 +1,9 @@
+// Fixture: namespace-scope mutable counter with no wave-shared story
+// and no inline justification -> W303.
+// wave-domain: neutral
+
+namespace wave::fixture {
+
+int g_events_seen = 0;
+
+}  // namespace wave::fixture

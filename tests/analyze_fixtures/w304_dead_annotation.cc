@@ -1,0 +1,15 @@
+// Fixture: wave-lifetime contract attached to no Task-returning
+// function head -> W304. The function it once named was renamed out
+// from under the annotation.
+// wave-domain: neutral
+
+namespace wave::fixture {
+
+// wave-lifetime(caller-awaits)
+inline int
+NotACoroutineAnymore(int x)
+{
+    return x + 1;
+}
+
+}  // namespace wave::fixture

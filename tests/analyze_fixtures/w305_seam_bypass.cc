@@ -1,0 +1,14 @@
+// Fixture: host-domain code calls straight into a nic-domain function
+// instead of routing through the pcie seam -> W305. The callee lives
+// in w305_seam_bypass_b.cc; analyze both files in one invocation.
+// wave-domain: host
+
+namespace wave::fixture {
+
+inline int
+CallAcross()
+{
+    return NicSidePoll();
+}
+
+}  // namespace wave::fixture

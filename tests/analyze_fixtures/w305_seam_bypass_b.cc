@@ -1,0 +1,13 @@
+// Fixture support: the nic-domain callee that w305_seam_bypass.cc
+// dials directly across the domain boundary.
+// wave-domain: nic
+
+namespace wave::fixture {
+
+inline int
+NicSidePoll()
+{
+    return 3;
+}
+
+}  // namespace wave::fixture

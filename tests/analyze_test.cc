@@ -4,12 +4,19 @@
  *
  * Two halves:
  *  - planted-violation fixtures under tests/analyze_fixtures/, one per
- *    rule W001..W008, W101..W106, and W201..W206, each asserted to
- *    trip exactly the rule it plants (plus suppression, region-scoping,
- *    JSON/stale-baseline, and clean-file fixtures);
+ *    rule W001..W008, W101..W106, W201..W206, and the cross-TU
+ *    W301..W305 (the W302/W305 fixtures are two-file pairs analyzed in
+ *    one invocation), each asserted to trip exactly the rule it plants
+ *    (plus suppression, region-scoping, JSON/stale-baseline, and
+ *    clean-file fixtures);
  *  - a clean-tree run over the real src/ with the shipped baseline,
  *    asserted to report zero violations — the same invocation the
  *    `analyze` build target and CI run.
+ *
+ * Unit tests for the symbol-graph builder itself (overload sets,
+ * shadowed names, out-of-line members, anonymous namespaces) live in
+ * analyze_graph_test.cc, which links the wave_analyze_core library
+ * directly.
  *
  * The analyzer binary location and the repo root are injected by CMake
  * as WAVE_ANALYZE_BIN / WAVE_SOURCE_ROOT compile definitions.
@@ -202,6 +209,69 @@ TEST(AnalyzeFixtures, W206AwaitUnderScopedGuard)
     ExpectDetectedOnce("w206_await_under_guard.cc", "W206");
 }
 
+/** Two-file fixture pair analyzed in one invocation (cross-TU rules). */
+void
+ExpectPairDetectedOnce(const std::string& fixture_a,
+                       const std::string& fixture_b,
+                       const std::string& rule)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src " + kFixtures +
+            "/" + fixture_a + " " + kFixtures + "/" + fixture_b);
+    EXPECT_EQ(r.exit_code, 1) << fixture_a << ":\n" << r.output;
+    EXPECT_EQ(Count(r.output, rule + ":"), 1u)
+        << fixture_a << " did not trip " << rule << " exactly once:\n"
+        << r.output;
+    EXPECT_NE(r.output.find("1 finding"), std::string::npos)
+        << fixture_a << " tripped more than its planted rule:\n"
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, W101SizedBufferWithMixedCaseName)
+{
+    // Regression: the sized-buffer pattern only matched snake_case
+    // identifiers, so CamelCase locals escaped the rule.
+    ExpectDetectedOnce("w101_mixed_case.cc", "W101");
+}
+
+TEST(AnalyzeFixtures, W301TransitiveHotReachesColdAllocator)
+{
+    ExpectDetectedOnce("w301_transitive_alloc.cc", "W301");
+}
+
+TEST(AnalyzeFixtures, W302CrossShardMutableStateReference)
+{
+    ExpectPairDetectedOnce("w302_closure_leak.cc",
+                           "w302_closure_leak_b.cc", "W302");
+}
+
+TEST(AnalyzeFixtures, W303MutableGlobalWithoutJustification)
+{
+    ExpectDetectedOnce("w303_mutable_global.cc", "W303");
+}
+
+TEST(AnalyzeFixtures, W304DeadLifetimeAnnotation)
+{
+    ExpectDetectedOnce("w304_dead_annotation.cc", "W304");
+}
+
+TEST(AnalyzeFixtures, W305HostCallsNicSymbolDirectly)
+{
+    ExpectPairDetectedOnce("w305_seam_bypass.cc",
+                           "w305_seam_bypass_b.cc", "W305");
+}
+
+TEST(AnalyzeFixtures, W301ExplainsTheCallPath)
+{
+    // The finding must carry the full chain from the hot call site to
+    // the allocating sink, not just the endpoints.
+    const RunResult r = AnalyzeFixture("w301_transitive_alloc.cc");
+    EXPECT_NE(r.output.find("call path: wave::fixture::Acquire -> "
+                            "wave::fixture::GrowPool"),
+              std::string::npos)
+        << r.output;
+}
+
 TEST(AnalyzeFixtures, RegionScopedHotOnlyFlagsInsideRegion)
 {
     // Three identical allocations; only the one between `wave-hot:
@@ -275,7 +345,7 @@ TEST(AnalyzeFixtures, JsonFormatEmitsFindingsAndOwnership)
         Exec(kBin + " --root " + kRoot + " --as-src --format=json " +
             kFixtures + "/w201_dangling_ref.cc");
     EXPECT_EQ(r.exit_code, 1) << r.output;
-    EXPECT_NE(r.output.find("\"schema\": \"wave-analyze-v1\""),
+    EXPECT_NE(r.output.find("\"schema\": \"wave-analyze-v2\""),
               std::string::npos)
         << r.output;
     EXPECT_NE(r.output.find("\"rule\": \"W201\""), std::string::npos)
@@ -283,6 +353,49 @@ TEST(AnalyzeFixtures, JsonFormatEmitsFindingsAndOwnership)
     EXPECT_NE(r.output.find("\"suppressed\": false"), std::string::npos)
         << r.output;
     EXPECT_NE(r.output.find("\"ownership\""), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, JsonV2EmitsCallGraphAndOwnershipClosure)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src --format=json " +
+            kFixtures + "/w301_transitive_alloc.cc");
+    EXPECT_NE(r.output.find("\"call_graph\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"ownership_closure\""), std::string::npos)
+        << r.output;
+    // The planted chain's symbols and its alloc fact must be in the
+    // artifact, not just the finding.
+    EXPECT_NE(r.output.find("\"wave::fixture::GrowPool\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"fact\": \"alloc\""), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, SarifFormatEmitsReportedFindings)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src --format=sarif " +
+            kFixtures + "/w201_dangling_ref.cc");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("\"version\": \"2.1.0\""),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"ruleId\": \"W201\""), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("\"startLine\""), std::string::npos)
+        << r.output;
+}
+
+TEST(AnalyzeFixtures, SarifSuppressedFindingsAreOmitted)
+{
+    const RunResult r =
+        Exec(kBin + " --root " + kRoot + " --as-src --format=sarif " +
+            kFixtures + "/suppressed.cc");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_EQ(r.output.find("\"ruleId\": \"W"), std::string::npos)
         << r.output;
 }
 
@@ -322,7 +435,8 @@ TEST(AnalyzeTree, ListRulesCoversFullCatalog)
     for (const char* rule : {"W001", "W002", "W003", "W004", "W005",
                              "W006", "W007", "W008", "W101", "W102",
                              "W103", "W104", "W105", "W106", "W201",
-                             "W202", "W203", "W204", "W205", "W206"}) {
+                             "W202", "W203", "W204", "W205", "W206",
+                             "W301", "W302", "W303", "W304", "W305"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << ":\n"
             << r.output;

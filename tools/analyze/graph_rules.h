@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pass 2 of the cross-TU analysis: the W30x rules that need the whole
+ * tree at once — transitive-hot reachability (W301), shard-closure
+ * leaks (W302), the mutable-global census (W303), dead wave-lifetime
+ * annotations (the graph-visible leg of W304; dead allow() comments
+ * and stale baseline entries are the driver's job because they need
+ * the suppression results), and symbol-granularity seam bypasses
+ * (W305).
+ */
+// wave-domain: harness
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+#include "analyze/source.h"
+#include "analyze/symbols.h"
+
+namespace wa {
+
+/**
+ * The shard a file's mutable state belongs to: the explicit
+ * wave-owns(<shard>) argument when present, else derived from a
+ * host/nic clock domain, else "" (neutral/pcie/unknown files own
+ * nothing exclusively).
+ */
+std::string ShardOf(const SourceFile& f);
+
+class GraphRules {
+  public:
+    GraphRules(const SymbolGraph& graph,
+               const std::map<std::string, const SourceFile*>& files)
+        : graph_(graph), files_(files)
+    {
+    }
+
+    /** Runs W301/W302/W303/W305 plus the W304 lifetime leg. */
+    std::vector<Finding> Run();
+
+  private:
+    void CheckTransitiveHot(std::vector<Finding>& out);
+    void CheckShardClosure(std::vector<Finding>& out);
+    void CheckMutableGlobals(std::vector<Finding>& out);
+    void CheckDeadLifetimes(std::vector<Finding>& out);
+    void CheckSeamBypass(std::vector<Finding>& out);
+
+    const SourceFile* FileOf(const std::string& path) const;
+
+    const SymbolGraph& graph_;
+    const std::map<std::string, const SourceFile*>& files_;
+};
+
+}  // namespace wa
